@@ -1,0 +1,88 @@
+// Microbenchmarks of the simulation substrate (google-benchmark): event
+// queue throughput, link pipeline cost, and end-to-end packets/second of a
+// full TCP incast — the numbers that bound how large a Fig. 8/12 sweep can
+// be run on a laptop.
+#include <benchmark/benchmark.h>
+
+#include "core/sender_factory.hpp"
+#include "exp/experiment.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "topo/many_to_one.hpp"
+
+using namespace trim;
+
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.push(sim::SimTime::nanos((i * 7919) % 100000), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(100000);
+
+void BM_SimulatorTimerChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = static_cast<int>(state.range(0));
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule(sim::SimTime::nanos(10), tick);
+    };
+    sim.schedule(sim::SimTime::nanos(10), tick);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorTimerChain)->Arg(10000);
+
+void BM_EventCancellation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      ids.push_back(q.push(sim::SimTime::nanos(i), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventCancellation);
+
+// Full-stack cost: an N-to-1 incast of 1 MB flows; reports simulated
+// packets per wall second.
+void BM_IncastEndToEnd(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    exp::World world;
+    topo::ManyToOneConfig cfg;
+    cfg.num_servers = servers;
+    const auto topo = build_many_to_one(world.network, cfg);
+    const auto opts = exp::default_options(tcp::Protocol::kTrim, cfg.link_bps,
+                                           sim::SimTime::millis(200));
+    std::vector<tcp::Flow> flows;
+    for (int i = 0; i < servers; ++i) {
+      flows.push_back(core::make_protocol_flow(world.network, *topo.servers[i],
+                                               *topo.front_end, tcp::Protocol::kTrim,
+                                               opts));
+      flows.back().sender->write(1 << 20);
+    }
+    world.simulator.run_until(sim::SimTime::seconds(10));
+    for (auto& f : flows) packets += f.sender->stats().data_packets_sent;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(packets) * 2);  // data + acks
+  state.SetLabel("simulated packets (data+ack)");
+}
+BENCHMARK(BM_IncastEndToEnd)->Arg(5)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Fig. 11 — multi-hop, multi-bottleneck scenario: per-sender throughput of
+// groups A (both bottlenecks), B and C, TCP vs TCP-TRIM.
+#include <cstdio>
+
+#include "exp/experiment.hpp"
+#include "exp/multihop_scenario.hpp"
+#include "stats/table.hpp"
+
+using namespace trim;
+
+int main() {
+  exp::print_banner("Fig. 11 — multi-hop throughput per sender", "Sec. IV-B, Fig. 11");
+
+  stats::Table table{{"protocol", "group A (Mbps)", "group B (Mbps)",
+                      "group C (Mbps)", "timeouts", "drops"}};
+  exp::MultihopResult results[2];
+  int i = 0;
+  for (auto proto : {tcp::Protocol::kReno, tcp::Protocol::kTrim}) {
+    exp::MultihopConfig cfg;
+    cfg.protocol = proto;
+    if (exp::quick_mode()) {
+      cfg.stop = sim::SimTime::seconds(0.8);
+      cfg.measure_from = sim::SimTime::seconds(0.3);
+    }
+    cfg.seed = exp::run_seed(0x1100, 0);
+    const auto r = run_multihop(cfg);
+    results[i++] = r;
+    table.add_row({tcp::to_string(proto), stats::Table::num(r.group_a_mbps, 1),
+                   stats::Table::num(r.group_b_mbps, 1),
+                   stats::Table::num(r.group_c_mbps, 1),
+                   stats::Table::integer(static_cast<long long>(r.timeouts)),
+                   stats::Table::integer(static_cast<long long>(r.drops))});
+  }
+  table.print();
+  std::printf(
+      "paper reference: TRIM 342.7 / 638 / ~318 Mbps vs TCP 259 / 471 / 233;\n"
+      "shape: TCP suffers buffer overflows and timeouts on both bottlenecks,\n"
+      "TRIM is loss-free; group A (two bottlenecks) always gets less than B.\n");
+  const bool shape_ok = results[1].drops == 0 &&
+                        results[1].group_a_mbps < results[1].group_b_mbps &&
+                        results[0].timeouts > results[1].timeouts;
+  std::printf("shape check: %s\n", shape_ok ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Section III-B model validation: the steady-state analysis behind the K
+// guideline predicts, for N synchronized long trains through capacity C
+// with base RTT D,
+//   - desired standing queue  Q    = C*(K - D)          (Eq. 4)
+//   - maximum transient queue Qmax = C*(K - D) + N      (Eq. 7)
+//   - 100% bottleneck utilization whenever K satisfies Eq. 22.
+// This bench runs the actual simulation across N and compares measured
+// queue statistics and utilization against those closed forms.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/k_guideline.hpp"
+#include "core/sender_factory.hpp"
+#include "core/trim_sender.hpp"
+#include "exp/experiment.hpp"
+#include "http/lpt_source.hpp"
+#include "stats/rate_meter.hpp"
+#include "stats/table.hpp"
+#include "topo/many_to_one.hpp"
+
+using namespace trim;
+
+int main() {
+  exp::print_banner("Model validation — Sec. III-B steady-state analysis",
+                    "Eqs. 4, 7, 22");
+
+  const std::vector<int> n_values =
+      exp::quick_mode() ? std::vector<int>{2, 8, 24} : std::vector<int>{2, 4, 8, 16, 24, 32};
+
+  stats::Table table{{"N", "K (us)", "pred Q (Eq.4)", "pred Qmax (Eq.7)",
+                      "meas avg Q", "meas max Q", "utilization", "drops"}};
+  for (int n : n_values) {
+    exp::World world;
+    topo::ManyToOneConfig topo_cfg;
+    topo_cfg.num_servers = n;
+    const auto topo = build_many_to_one(world.network, topo_cfg);
+
+    stats::TimeSeries queue_trace;
+    topo.bottleneck->queue().set_length_trace(&queue_trace, &world.simulator);
+    stats::RateMeter goodput{sim::SimTime::millis(10)};
+
+    const auto opts = exp::default_options(tcp::Protocol::kTrim, topo_cfg.link_bps,
+                                           sim::SimTime::millis(200));
+    std::vector<tcp::Flow> flows;
+    std::vector<std::unique_ptr<http::LptSource>> sources;
+    const auto start = sim::SimTime::seconds(0.1);
+    const auto stop = sim::SimTime::seconds(0.9);
+    for (int i = 0; i < n; ++i) {
+      flows.push_back(core::make_protocol_flow(world.network, *topo.servers[i],
+                                               *topo.front_end, tcp::Protocol::kTrim,
+                                               opts));
+      auto* sim_ptr = &world.simulator;
+      flows.back().receiver->set_deliver_callback(
+          [&goodput, sim_ptr](std::uint64_t bytes) {
+            goodput.add(sim_ptr->now(), bytes);
+          });
+      sources.push_back(std::make_unique<http::LptSource>(&world.simulator,
+                                                          flows.back().sender.get()));
+      // All trains start together: the model's synchronized assumption.
+      sources.back()->run(start, stop);
+    }
+    world.simulator.run_until(stop + sim::SimTime::millis(100));
+
+    // The K each sender actually derived from its measured min RTT.
+    const auto* trim = dynamic_cast<core::TrimSender*>(flows[0].sender.get());
+    const auto k = trim->k_threshold();
+    const auto d = trim->min_rtt();
+    const double c = trim->trim_config().capacity_pps;
+    const double q_pred = core::desired_queue_packets(c, k, d);
+    const double qmax_pred = core::max_queue_packets(c, k, d, n);
+
+    // Steady-state window only (skip the synchronized slow-start ramp).
+    const double utilization =
+        goodput.mean_mbps(sim::SimTime::seconds(0.3), stop) /
+        (static_cast<double>(topo_cfg.link_bps) / 1e6);
+
+    table.add_row({stats::Table::integer(n), stats::Table::num(k.to_micros(), 0),
+                   stats::Table::num(q_pred, 1), stats::Table::num(qmax_pred, 1),
+                   stats::Table::num(queue_trace.time_weighted_mean(), 1),
+                   stats::Table::num(queue_trace.max_value(), 0),
+                   stats::Table::num(utilization * 100.0, 1) + "%",
+                   stats::Table::integer(
+                       static_cast<long long>(world.network.total_drops()))});
+  }
+  table.print();
+  std::printf(
+      "reading the table: the measured average queue should sit at or below\n"
+      "the Eq. 4 standing queue, transient peaks near (and usually below)\n"
+      "Eq. 7's Qmax + the synchronized-start overshoot, and utilization\n"
+      "should stay ~100%% for every N — the property Eq. 22 was derived to\n"
+      "guarantee. Deviations above Qmax come from slow-start at 0.1 s, which\n"
+      "the model does not cover.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "core/k_guideline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trim::core {
+
+double packets_per_second(std::uint64_t bits_per_sec, std::uint32_t mss_bytes,
+                          std::uint32_t header_bytes) {
+  if (bits_per_sec == 0 || mss_bytes == 0) {
+    throw std::invalid_argument("packets_per_second: zero rate or MSS");
+  }
+  const double packet_bits = static_cast<double>(mss_bytes + header_bytes) * 8.0;
+  return static_cast<double>(bits_per_sec) / packet_bits;
+}
+
+double f_of_n(double n, double d_seconds, double c_pps) {
+  if (n <= 0.0) throw std::invalid_argument("f_of_n: N must be positive");
+  return 2.0 * n * d_seconds / (n + 1.0) - n / c_pps;
+}
+
+double stationary_n(double d_seconds, double c_pps) {
+  const double cd2 = 2.0 * c_pps * d_seconds;
+  if (cd2 <= 1.0) return 0.0;
+  return std::sqrt(cd2) - 1.0;
+}
+
+double f_max(double d_seconds, double c_pps) {
+  const double root = std::sqrt(2.0 * c_pps * d_seconds) - 1.0;
+  if (root <= 0.0) return 0.0;
+  return root * root / c_pps;
+}
+
+sim::SimTime recommended_k(sim::SimTime d, double c_pps) {
+  if (c_pps <= 0.0) throw std::invalid_argument("recommended_k: capacity must be positive");
+  const double fk = f_max(d.to_seconds(), c_pps);
+  return std::max(sim::SimTime::seconds(fk), d);
+}
+
+double desired_queue_packets(double c_pps, sim::SimTime k, sim::SimTime d) {
+  return c_pps * (k - d).to_seconds();
+}
+
+double max_queue_packets(double c_pps, sim::SimTime k, sim::SimTime d, int n) {
+  return desired_queue_packets(c_pps, k, d) + static_cast<double>(n);
+}
+
+}  // namespace trim::core

@@ -1,0 +1,45 @@
+// Section III-B of the paper: choosing the RTT threshold K.
+//
+// With N synchronized long trains through a bottleneck of capacity C
+// (packets/second) and queue-free round-trip time D (seconds), the paper
+// derives that 100% bottleneck utilization with minimal standing queue
+// requires
+//     K >= max( (sqrt(2*C*D) - 1)^2 / C ,  D )          (Eq. 22)
+// via the worst case of F(N) = 2ND/(N+1) - N/C           (Eq. 17).
+//
+// These helpers expose the intermediate quantities so tests can check the
+// derivation (F has a unique interior maximum; Eq. 21 bounds it) and so
+// ablation benches can sweep K against the guideline value.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace trim::core {
+
+// Bottleneck capacity in packets per second for a link of `bits_per_sec`
+// carrying MSS-sized segments plus TCP/IP headers.
+double packets_per_second(std::uint64_t bits_per_sec, std::uint32_t mss_bytes,
+                          std::uint32_t header_bytes = 40);
+
+// F(N) = 2ND/(N+1) - N/C  (Eq. 17). N > 0.
+double f_of_n(double n, double d_seconds, double c_pps);
+
+// Positive stationary point of F: root of N^2 + 2N + 1 - 2DC = 0 (Eq. 19),
+// i.e. N* = sqrt(2*C*D) - 1. Returns 0 when 2CD <= 1 (F decreasing).
+double stationary_n(double d_seconds, double c_pps);
+
+// Upper bound of F: (sqrt(2CD) - 1)^2 / C  (Eq. 21).
+double f_max(double d_seconds, double c_pps);
+
+// Eq. 22: the recommended threshold K = max(f_max, D).
+sim::SimTime recommended_k(sim::SimTime d, double c_pps);
+
+// Eq. 4: desired standing queue Q = C*(K - D).
+double desired_queue_packets(double c_pps, sim::SimTime k, sim::SimTime d);
+
+// Eq. 7: maximum transient queue Qmax = C*(K - D) + N.
+double max_queue_packets(double c_pps, sim::SimTime k, sim::SimTime d, int n);
+
+}  // namespace trim::core

@@ -1,0 +1,41 @@
+#include "core/sender_factory.hpp"
+
+#include <stdexcept>
+
+namespace trim::core {
+
+std::unique_ptr<tcp::TcpSender> make_sender(tcp::Protocol protocol, net::Host* src,
+                                            net::NodeId dst, net::FlowId flow,
+                                            const ProtocolOptions& opts) {
+  switch (protocol) {
+    case tcp::Protocol::kReno:
+      return std::make_unique<tcp::RenoSender>(src, dst, flow, opts.tcp);
+    case tcp::Protocol::kCubic:
+      return std::make_unique<tcp::CubicSender>(src, dst, flow, opts.tcp, opts.cubic);
+    case tcp::Protocol::kDctcp:
+      return std::make_unique<tcp::DctcpSender>(src, dst, flow, opts.tcp, opts.dctcp);
+    case tcp::Protocol::kL2dct:
+      return std::make_unique<tcp::L2dctSender>(src, dst, flow, opts.tcp, opts.l2dct,
+                                                opts.dctcp);
+    case tcp::Protocol::kTrim:
+      return std::make_unique<TrimSender>(src, dst, flow, opts.tcp, opts.trim);
+    case tcp::Protocol::kVegas:
+      return std::make_unique<tcp::VegasSender>(src, dst, flow, opts.tcp, opts.vegas);
+    case tcp::Protocol::kD2tcp:
+      return std::make_unique<tcp::D2tcpSender>(src, dst, flow, opts.tcp, opts.d2tcp,
+                                                opts.dctcp);
+    case tcp::Protocol::kGip:
+      return std::make_unique<tcp::GipSender>(src, dst, flow, opts.tcp, opts.gip);
+  }
+  throw std::invalid_argument("make_sender: unknown protocol");
+}
+
+tcp::Flow make_protocol_flow(net::Network& network, net::Host& src, net::Host& dst,
+                             tcp::Protocol protocol, const ProtocolOptions& opts) {
+  return tcp::make_flow(network, src, dst,
+                        [&](net::Host* s, net::NodeId d, net::FlowId f) {
+                          return make_sender(protocol, s, d, f, opts);
+                        });
+}
+
+}  // namespace trim::core

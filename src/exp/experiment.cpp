@@ -1,0 +1,80 @@
+#include "exp/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/routing.hpp"
+
+namespace trim::exp {
+
+std::uint64_t base_seed() {
+  if (const char* env = std::getenv("REPRO_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20160701ull;  // ICDCS 2016
+}
+
+bool quick_mode() {
+  const char* env = std::getenv("REPRO_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+int repeats(int dflt, int quick) {
+  if (const char* env = std::getenv("REPRO_REPEATS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return quick_mode() ? quick : dflt;
+}
+
+std::uint64_t run_seed(std::uint64_t experiment_tag, int run_index) {
+  return net::mix64(base_seed() ^ net::mix64(experiment_tag) ^
+                    (static_cast<std::uint64_t>(run_index) << 17));
+}
+
+void print_banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==== %s ====\n", title.c_str());
+  std::printf("reproduces: %s (TCP-TRIM, ICDCS 2016)\n", paper_ref.c_str());
+  if (quick_mode()) std::printf("[REPRO_QUICK=1: reduced repeats/scale]\n");
+  std::printf("\n");
+}
+
+core::ProtocolOptions default_options(tcp::Protocol protocol, std::uint64_t nic_bps,
+                                      sim::SimTime min_rto) {
+  core::ProtocolOptions opts;
+  opts.tcp.min_rto = min_rto;
+  if (protocol == tcp::Protocol::kTrim) {
+    opts.trim = core::TrimConfig::for_link(nic_bps, opts.tcp.mss);
+  }
+  return opts;
+}
+
+namespace {
+std::uint32_t ecn_threshold_pkts(std::uint64_t link_bps) {
+  // DCTCP guideline: K ~ 20 packets at 1 Gbps, 65 packets at 10 Gbps.
+  return link_bps >= 10 * net::kGbps ? 65 : 20;
+}
+}  // namespace
+
+net::QueueConfig switch_queue_for(tcp::Protocol protocol, std::uint32_t buffer_pkts,
+                                  std::uint64_t link_bps) {
+  if (protocol == tcp::Protocol::kDctcp || protocol == tcp::Protocol::kL2dct ||
+      protocol == tcp::Protocol::kD2tcp) {
+    return net::QueueConfig::ecn_packets(buffer_pkts, ecn_threshold_pkts(link_bps));
+  }
+  return net::QueueConfig::droptail_packets(buffer_pkts);
+}
+
+net::QueueConfig switch_queue_bytes_for(tcp::Protocol protocol,
+                                        std::uint64_t buffer_bytes,
+                                        std::uint64_t link_bps, std::uint32_t mss) {
+  if (protocol == tcp::Protocol::kDctcp || protocol == tcp::Protocol::kL2dct ||
+      protocol == tcp::Protocol::kD2tcp) {
+    const std::uint64_t mark_bytes =
+        static_cast<std::uint64_t>(ecn_threshold_pkts(link_bps)) * (mss + 40);
+    return net::QueueConfig::ecn_bytes(buffer_bytes, mark_bytes);
+  }
+  return net::QueueConfig::droptail_bytes(buffer_bytes);
+}
+
+}  // namespace trim::exp

@@ -1,0 +1,59 @@
+// Shared experiment plumbing: environment knobs, repeat/seed management,
+// and the per-run world (Simulator + Network pair).
+//
+// Environment variables (read once):
+//   REPRO_SEED      base RNG seed (default 20160701)
+//   REPRO_REPEATS   repeat count multiplier override for sweep benches
+//   REPRO_QUICK     "1" shrinks repeats/scales so the full bench suite
+//                   finishes in a couple of minutes
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/sender_factory.hpp"
+#include "net/network.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace trim::exp {
+
+std::uint64_t base_seed();
+bool quick_mode();
+// `dflt` repeats normally, `quick` repeats under REPRO_QUICK; REPRO_REPEATS
+// overrides both.
+int repeats(int dflt, int quick);
+
+// One isolated simulated world per run.
+struct World {
+  World() : network{&simulator} {}
+  sim::Simulator simulator;
+  net::Network network;
+};
+
+// Seed for (experiment, run) pairs, stable across processes.
+std::uint64_t run_seed(std::uint64_t experiment_tag, int run_index);
+
+// Pretty banner printed by each bench binary.
+void print_banner(const std::string& title, const std::string& paper_ref);
+
+// Per-protocol options for a scenario whose edge/NIC rate is `nic_bps`.
+// TRIM derives its Eq. 22 capacity C from the NIC rate (the end-host
+// knowledge assumption of Sec. III-C); `min_rto` is the experiment's RTO
+// floor (the paper varies it: 200 ms default, 20 ms in Fig. 8, 1 ms in
+// Fig. 9(b)).
+core::ProtocolOptions default_options(tcp::Protocol protocol, std::uint64_t nic_bps,
+                                      sim::SimTime min_rto);
+
+// Switch egress queue for a protocol: plain droptail for the end-to-end
+// protocols, DCTCP-style ECN marking (K = 20 pkts at 1G, 65 pkts at 10G,
+// per the DCTCP paper's guideline) for DCTCP/L2DCT.
+net::QueueConfig switch_queue_for(tcp::Protocol protocol, std::uint32_t buffer_pkts,
+                                  std::uint64_t link_bps);
+net::QueueConfig switch_queue_bytes_for(tcp::Protocol protocol,
+                                        std::uint64_t buffer_bytes,
+                                        std::uint64_t link_bps, std::uint32_t mss);
+
+}  // namespace trim::exp

@@ -1,0 +1,33 @@
+// Multi-hop, multi-bottleneck throughput test (Fig. 11): groups A and B
+// send long trains to the front-end, group C sends long trains to paired
+// group-D receivers; group A crosses both 10 Gbps bottlenecks. Reports the
+// steady-state per-sender throughput of each group.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "tcp/tcp_common.hpp"
+
+namespace trim::exp {
+
+struct MultihopConfig {
+  tcp::Protocol protocol = tcp::Protocol::kReno;
+  int group_size = 10;
+  sim::SimTime start = sim::SimTime::seconds(0.1);
+  sim::SimTime stop = sim::SimTime::seconds(2.0);
+  sim::SimTime measure_from = sim::SimTime::seconds(0.5);  // steady window
+  std::uint64_t seed = 1;
+};
+
+struct MultihopResult {
+  double group_a_mbps = 0.0;  // per-sender average
+  double group_b_mbps = 0.0;
+  double group_c_mbps = 0.0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t drops = 0;
+};
+
+MultihopResult run_multihop(const MultihopConfig& cfg);
+
+}  // namespace trim::exp

@@ -1,0 +1,36 @@
+// TCP-TRIM property tests (Fig. 9): N long trains through the 1 Gbps /
+// 50 us many-to-one star with a 100-packet switch buffer, active from
+// 0.1 s to 0.9 s. Reports the bottleneck queue trace, its time-averaged
+// length, the total packet drops, and the receiver goodput.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "stats/time_series.hpp"
+#include "tcp/tcp_common.hpp"
+
+namespace trim::exp {
+
+struct PropertiesConfig {
+  tcp::Protocol protocol = tcp::Protocol::kReno;
+  int num_lpts = 5;
+  sim::SimTime start = sim::SimTime::seconds(0.1);
+  sim::SimTime stop = sim::SimTime::seconds(0.9);
+  // Fig. 9(b) sets RTO = 1 ms "to avoid the impact of TCP timeout [pauses]".
+  sim::SimTime min_rto = sim::SimTime::millis(200);
+  std::uint64_t seed = 1;
+};
+
+struct PropertiesResult {
+  stats::TimeSeries queue_trace;  // bottleneck occupancy, packets
+  double avg_queue_pkts = 0.0;    // time-weighted over [start, stop]
+  double max_queue_pkts = 0.0;
+  std::uint64_t drops = 0;
+  std::uint64_t timeouts = 0;
+  double goodput_mbps = 0.0;      // unique delivered bytes over [start, stop]
+};
+
+PropertiesResult run_properties(const PropertiesConfig& cfg);
+
+}  // namespace trim::exp

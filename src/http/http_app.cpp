@@ -1,0 +1,36 @@
+#include "http/http_app.hpp"
+
+#include <stdexcept>
+
+namespace trim::http {
+
+HttpResponseApp::HttpResponseApp(sim::Simulator* sim, tcp::TcpSender* sender)
+    : sim_{sim}, sender_{sender} {
+  if (sim_ == nullptr || sender_ == nullptr) {
+    throw std::invalid_argument("HttpResponseApp: null simulator or sender");
+  }
+  sender_->add_message_complete_callback(
+      [this](std::uint64_t, sim::SimTime) { ++completed_; });
+}
+
+void HttpResponseApp::schedule_response(sim::SimTime at, std::uint64_t bytes) {
+  ++scheduled_;
+  sim_->schedule_at(at, [this, bytes] { sender_->write(bytes); });
+}
+
+std::uint64_t HttpResponseApp::send_response(std::uint64_t bytes) {
+  ++scheduled_;
+  return sender_->write(bytes);
+}
+
+std::vector<sim::SimTime> HttpResponseApp::completion_times() const {
+  return sender_->stats().completed_message_times();
+}
+
+stats::Summary HttpResponseApp::completion_summary_ms() const {
+  stats::Summary s;
+  for (const auto& t : completion_times()) s.add(t.to_millis());
+  return s;
+}
+
+}  // namespace trim::http

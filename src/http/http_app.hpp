@@ -1,0 +1,45 @@
+// HTTP response application (the web-server side of the paper's
+// experiments). Responses are byte-counted messages written onto one
+// persistent TCP connection; the completion time of each response (write
+// to last-byte-acked) is the paper's central metric (ACT / ARCT).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "stats/summary.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace trim::http {
+
+class HttpResponseApp {
+ public:
+  // `sender` must outlive the app. The app installs itself as the
+  // sender's message-completion callback.
+  HttpResponseApp(sim::Simulator* sim, tcp::TcpSender* sender);
+
+  // Write `bytes` at absolute simulation time `at` (a scheduled response,
+  // e.g. the paper's "200 responses from 0.1 s").
+  void schedule_response(sim::SimTime at, std::uint64_t bytes);
+
+  // Write immediately.
+  std::uint64_t send_response(std::uint64_t bytes);
+
+  std::size_t scheduled() const { return scheduled_; }
+  std::size_t completed() const { return completed_; }
+
+  // Completion-time summaries straight from the sender's FlowStats.
+  std::vector<sim::SimTime> completion_times() const;
+  stats::Summary completion_summary_ms() const;
+
+  tcp::TcpSender& sender() { return *sender_; }
+
+ private:
+  sim::Simulator* sim_;
+  tcp::TcpSender* sender_;
+  std::size_t scheduled_ = 0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace trim::http

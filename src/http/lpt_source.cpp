@@ -1,0 +1,30 @@
+#include "http/lpt_source.hpp"
+
+#include <stdexcept>
+
+namespace trim::http {
+
+LptSource::LptSource(sim::Simulator* sim, tcp::TcpSender* sender,
+                     std::uint64_t chunk_bytes)
+    : sim_{sim}, sender_{sender}, chunk_bytes_{chunk_bytes} {
+  if (sim_ == nullptr || sender_ == nullptr || chunk_bytes_ == 0) {
+    throw std::invalid_argument("LptSource: bad construction parameters");
+  }
+}
+
+void LptSource::run(sim::SimTime start, sim::SimTime stop) {
+  if (running_) throw std::logic_error("LptSource::run called twice");
+  running_ = true;
+  stop_ = stop;
+  sender_->add_message_complete_callback([this](std::uint64_t, sim::SimTime now) {
+    if (now < stop_) emit_chunk();
+  });
+  sim_->schedule_at(start, [this] { emit_chunk(); });
+}
+
+void LptSource::emit_chunk() {
+  bytes_emitted_ += chunk_bytes_;
+  sender_->write(chunk_bytes_);
+}
+
+}  // namespace trim::http

@@ -1,0 +1,48 @@
+#include "http/onoff_source.hpp"
+
+#include <stdexcept>
+
+namespace trim::http {
+
+OnOffSource::OnOffSource(sim::Simulator* sim, tcp::TcpSender* sender,
+                         TrainWorkload workload, Pacing pacing)
+    : sim_{sim}, sender_{sender}, workload_{std::move(workload)}, pacing_{pacing} {
+  if (sim_ == nullptr || sender_ == nullptr) {
+    throw std::invalid_argument("OnOffSource: null simulator or sender");
+  }
+}
+
+void OnOffSource::run(sim::SimTime start, sim::SimTime stop) {
+  if (stop <= start) throw std::invalid_argument("OnOffSource::run: empty interval");
+  stop_ = stop;
+
+  if (pacing_ == Pacing::kAfterCompletion) {
+    // Close the loop through the transport: gap starts when the previous
+    // train is fully acked.
+    sender_->add_message_complete_callback([this](std::uint64_t, sim::SimTime now) {
+      schedule_next(now + workload_.sample_gap());
+    });
+    schedule_next(start);
+  } else {
+    // Open loop: draw every train start up front.
+    sim::SimTime t = start;
+    while (t < stop_) {
+      sim_->schedule_at(t, [this] { emit_train(); });
+      t += workload_.sample_gap();
+    }
+  }
+}
+
+void OnOffSource::schedule_next(sim::SimTime at) {
+  if (at >= stop_) return;
+  sim_->schedule_at(at, [this] { emit_train(); });
+}
+
+void OnOffSource::emit_train() {
+  const auto bytes = workload_.sample_train_bytes();
+  ++trains_emitted_;
+  bytes_emitted_ += bytes;
+  sender_->write(bytes);
+}
+
+}  // namespace trim::http

@@ -1,0 +1,55 @@
+#include "http/trace_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace trim::http {
+
+void write_train_trace(const std::string& path,
+                       std::span<const TrainRecord> trains) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("write_train_trace: cannot open " + path);
+  out << "train_bytes,gap_us\n";
+  for (std::size_t i = 0; i < trains.size(); ++i) {
+    const double gap_us =
+        i == 0 ? 0.0
+               : (trains[i].first_packet - trains[i - 1].last_packet).to_micros();
+    out << trains[i].bytes << ',' << gap_us << '\n';
+  }
+  if (!out) throw std::runtime_error("write_train_trace: write failed: " + path);
+}
+
+TrainWorkload load_train_workload(const std::string& path, sim::Rng rng) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("load_train_workload: cannot open " + path);
+
+  std::vector<double> sizes, gaps;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss{line};
+    double bytes = 0.0, gap_us = 0.0;
+    char comma = 0;
+    if (!(ss >> bytes >> comma >> gap_us) || comma != ',') {
+      throw std::runtime_error("load_train_workload: malformed line: " + line);
+    }
+    sizes.push_back(bytes);
+    if (gap_us > 0.0) gaps.push_back(gap_us);
+  }
+  if (sizes.size() < 3 || gaps.size() < 2) {
+    throw std::runtime_error("load_train_workload: trace too short: " + path);
+  }
+
+  return TrainWorkload{
+      rng,
+      sim::EmpiricalCdf::from_samples(std::move(sizes), 17,
+                                      sim::EmpiricalCdf::Interp::kLogValue),
+      sim::EmpiricalCdf::from_samples(std::move(gaps), 17,
+                                      sim::EmpiricalCdf::Interp::kLogValue)};
+}
+
+}  // namespace trim::http

@@ -1,0 +1,28 @@
+// Trace persistence: save detected packet trains to a CSV trace and build
+// a replayable TrainWorkload back from it. This closes the loop on the
+// paper's (unavailable) 2 TB campus trace: any recorded train sequence —
+// from this simulator or from a real capture post-processed into
+// (bytes, gap) pairs — can drive every experiment in place of the Fig. 2
+// analytic distributions.
+//
+// File format: one "train_bytes,gap_us" line per train; the gap is the
+// OFF time *before* the train (first line uses 0).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "http/train_analyzer.hpp"
+#include "http/train_workload.hpp"
+
+namespace trim::http {
+
+// Writes the trains (and their inter-train gaps) detected by a
+// TrainAnalyzer. Throws std::runtime_error on I/O failure.
+void write_train_trace(const std::string& path, std::span<const TrainRecord> trains);
+
+// Parses a trace written by write_train_trace (or hand-made in the same
+// format) and fits replay distributions to it. Needs >= 3 trains.
+TrainWorkload load_train_workload(const std::string& path, sim::Rng rng);
+
+}  // namespace trim::http

@@ -1,0 +1,58 @@
+#include "http/train_analyzer.hpp"
+
+#include <stdexcept>
+
+namespace trim::http {
+
+TrainAnalyzer::TrainAnalyzer(sim::SimTime gap_threshold)
+    : gap_threshold_{gap_threshold} {
+  if (gap_threshold <= sim::SimTime::zero()) {
+    throw std::invalid_argument("TrainAnalyzer: gap threshold must be positive");
+  }
+}
+
+void TrainAnalyzer::observe(sim::SimTime at, std::uint32_t bytes) {
+  if (finished_) throw std::logic_error("TrainAnalyzer::observe after finish()");
+  if (in_train_ && at < current_.last_packet) {
+    throw std::invalid_argument("TrainAnalyzer: packets must arrive in time order");
+  }
+  if (in_train_ && at - current_.last_packet > gap_threshold_) close_current();
+
+  if (!in_train_) {
+    in_train_ = true;
+    current_ = TrainRecord{};
+    current_.first_packet = at;
+  }
+  current_.last_packet = at;
+  current_.bytes += bytes;
+  ++current_.packets;
+}
+
+void TrainAnalyzer::close_current() {
+  trains_.push_back(current_);
+  in_train_ = false;
+}
+
+const std::vector<TrainRecord>& TrainAnalyzer::finish() {
+  if (!finished_) {
+    if (in_train_) close_current();
+    finished_ = true;
+  }
+  return trains_;
+}
+
+stats::Cdf TrainAnalyzer::size_cdf() const {
+  stats::Cdf cdf;
+  for (const auto& t : trains_) cdf.add(static_cast<double>(t.bytes));
+  return cdf;
+}
+
+stats::Cdf TrainAnalyzer::gap_cdf() const {
+  stats::Cdf cdf;
+  for (std::size_t i = 1; i < trains_.size(); ++i) {
+    cdf.add((trains_[i].first_packet - trains_[i - 1].last_packet).to_micros());
+  }
+  return cdf;
+}
+
+}  // namespace trim::http

@@ -1,0 +1,54 @@
+// Packet-train detection over an observed packet stream (paper Sec. II-A).
+//
+// Following Jain & Routhier's definition, a packet train is a burst of
+// packets between the same endpoints where consecutive packets are closer
+// than an inter-train gap threshold. Fig. 1 plots the packet sequence of a
+// traced server; Fig. 2 plots the CDFs of the detected train sizes and
+// gaps. This analyzer reconstructs both from any packet observation
+// stream (e.g. a Link delivery tap).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/cdf.hpp"
+
+namespace trim::http {
+
+struct TrainRecord {
+  sim::SimTime first_packet;
+  sim::SimTime last_packet;
+  std::uint64_t bytes = 0;
+  std::uint32_t packets = 0;
+
+  sim::SimTime duration() const { return last_packet - first_packet; }
+};
+
+class TrainAnalyzer {
+ public:
+  explicit TrainAnalyzer(sim::SimTime gap_threshold);
+
+  // Feed packets in time order.
+  void observe(sim::SimTime at, std::uint32_t bytes);
+
+  // Close the trailing train and return all detected trains.
+  const std::vector<TrainRecord>& finish();
+  const std::vector<TrainRecord>& trains() const { return trains_; }
+
+  // CDFs over detected trains (sizes in bytes, gaps between consecutive
+  // trains in microseconds).
+  stats::Cdf size_cdf() const;
+  stats::Cdf gap_cdf() const;
+
+ private:
+  void close_current();
+
+  sim::SimTime gap_threshold_;
+  bool in_train_ = false;
+  TrainRecord current_;
+  std::vector<TrainRecord> trains_;
+  bool finished_ = false;
+};
+
+}  // namespace trim::http

@@ -1,0 +1,51 @@
+#include "http/train_workload.hpp"
+
+#include <algorithm>
+
+namespace trim::http {
+
+using sim::EmpiricalCdf;
+
+EmpiricalCdf TrainWorkload::default_size_cdf() {
+  // Fig. 2(a): 0.5 KB minimum; <=4 KB below 20%; 4-128 KB about 70%;
+  // >128 KB about 10%; 256 KB maximum.
+  return EmpiricalCdf{{
+                          {512.0, 0.0},
+                          {4.0 * 1024, 0.18},
+                          {16.0 * 1024, 0.42},
+                          {64.0 * 1024, 0.72},
+                          {128.0 * 1024, 0.90},
+                          {256.0 * 1024, 1.0},
+                      },
+                      EmpiricalCdf::Interp::kLogValue};
+}
+
+EmpiricalCdf TrainWorkload::default_gap_cdf() {
+  // Fig. 2(b): gaps from hundreds of microseconds to several milliseconds.
+  return EmpiricalCdf{{
+                          {100.0, 0.0},  // values in microseconds
+                          {500.0, 0.35},
+                          {1000.0, 0.60},
+                          {2000.0, 0.82},
+                          {5000.0, 1.0},
+                      },
+                      EmpiricalCdf::Interp::kLogValue};
+}
+
+TrainWorkload::TrainWorkload(sim::Rng rng)
+    : TrainWorkload{rng, default_size_cdf(), default_gap_cdf()} {}
+
+TrainWorkload::TrainWorkload(sim::Rng rng, sim::EmpiricalCdf size_cdf,
+                             sim::EmpiricalCdf gap_cdf)
+    : rng_{rng}, size_cdf_{std::move(size_cdf)}, gap_cdf_{std::move(gap_cdf)} {}
+
+std::uint64_t TrainWorkload::sample_train_bytes() {
+  return static_cast<std::uint64_t>(std::max(size_cdf_.sample(rng_), 1.0));
+}
+
+sim::SimTime TrainWorkload::sample_gap() {
+  return sim::SimTime::nanos(
+      static_cast<std::int64_t>(gap_cdf_.sample(rng_) * 1000.0));  // us -> ns
+}
+
+}  // namespace trim::http

@@ -1,0 +1,47 @@
+// Packet-train workload model (paper Sec. II-A, Fig. 2).
+//
+// The paper characterizes its 2 TB campus-data-center HTTP trace only
+// through two marginals, which all later experiments sample from:
+//   - PT size: 0.5 KB .. 256 KB, with <20% of trains at or below 4 KB,
+//     ~70% between 4 KB and 128 KB, and ~10% above 128 KB (Fig. 2(a));
+//   - inter-train gap: hundreds of microseconds to several milliseconds
+//     (Fig. 2(b)).
+// We encode those anchors as piecewise log-interpolated empirical CDFs
+// (the substitution for the unavailable raw trace; see DESIGN.md §5).
+//
+// Trains above the long-train threshold (128 KB) are the paper's LPTs;
+// everything else is an SPT.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace trim::http {
+
+inline constexpr std::uint64_t kLongTrainThresholdBytes = 128 * 1024;
+
+class TrainWorkload {
+ public:
+  explicit TrainWorkload(sim::Rng rng);
+  TrainWorkload(sim::Rng rng, sim::EmpiricalCdf size_cdf, sim::EmpiricalCdf gap_cdf);
+
+  std::uint64_t sample_train_bytes();
+  sim::SimTime sample_gap();
+
+  static bool is_long_train(std::uint64_t bytes) {
+    return bytes > kLongTrainThresholdBytes;
+  }
+
+  // The published Fig. 2 anchor points.
+  static sim::EmpiricalCdf default_size_cdf();
+  static sim::EmpiricalCdf default_gap_cdf();
+
+ private:
+  sim::Rng rng_;
+  sim::EmpiricalCdf size_cdf_;
+  sim::EmpiricalCdf gap_cdf_;
+};
+
+}  // namespace trim::http

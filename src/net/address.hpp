@@ -1,0 +1,14 @@
+// Identifiers shared across the network layer.
+#pragma once
+
+#include <cstdint>
+
+namespace trim::net {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+inline constexpr FlowId kInvalidFlow = 0xFFFFFFFFu;
+
+}  // namespace trim::net

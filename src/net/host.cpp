@@ -1,0 +1,38 @@
+#include "net/host.hpp"
+
+#include <stdexcept>
+
+#include "net/link.hpp"
+#include "sim/logging.hpp"
+
+namespace trim::net {
+
+void Host::register_agent(FlowId flow, Agent* agent) {
+  if (agent == nullptr) throw std::invalid_argument("Host::register_agent: null agent");
+  const auto [it, inserted] = agents_.emplace(flow, agent);
+  (void)it;
+  if (!inserted) throw std::logic_error("Host::register_agent: duplicate flow id");
+}
+
+void Host::unregister_agent(FlowId flow) { agents_.erase(flow); }
+
+void Host::send(Packet p) {
+  if (out_links_.empty()) throw std::logic_error("Host::send: no uplink attached");
+  p.src = id_;
+  // Unique per simulation: high bits = host id, low bits = per-host counter.
+  if (p.uid == 0) p.uid = (static_cast<std::uint64_t>(id_) << 40) | ++uid_counter_;
+  out_links_[0]->send(std::move(p));
+}
+
+void Host::receive(Packet p) {
+  const auto it = agents_.find(p.flow);
+  if (it == agents_.end()) {
+    ++unroutable_;
+    TRIM_LOG(sim::LogLevel::kDebug, sim_, "host %s: no agent for %s", name_.c_str(),
+             p.describe().c_str());
+    return;
+  }
+  it->second->on_packet(p);
+}
+
+}  // namespace trim::net

@@ -1,0 +1,40 @@
+// An end host: single-homed node that demultiplexes arriving packets to
+// transport agents by flow id. TCP senders and receivers register here.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/node.hpp"
+
+namespace trim::net {
+
+// Anything that terminates a flow on a host (TCP sender / receiver side).
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  virtual void on_packet(const Packet& p) = 0;
+};
+
+class Host : public Node {
+ public:
+  using Node::Node;
+
+  void register_agent(FlowId flow, Agent* agent);
+  void unregister_agent(FlowId flow);
+
+  // Transmit through the uplink (all topologies in the paper are
+  // single-homed at the edge). Stamps the source node id.
+  void send(Packet p);
+
+  void receive(Packet p) override;
+
+  std::uint64_t unroutable_packets() const { return unroutable_; }
+
+ private:
+  std::unordered_map<FlowId, Agent*> agents_;
+  std::uint64_t unroutable_ = 0;
+  std::uint64_t uid_counter_ = 0;
+};
+
+}  // namespace trim::net

@@ -1,0 +1,66 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "net/node.hpp"
+#include "net/trace_tap.hpp"
+
+namespace trim::net {
+
+Link::Link(sim::Simulator* sim, std::string name, std::uint64_t bits_per_sec,
+           sim::SimTime prop_delay, std::unique_ptr<Queue> queue)
+    : sim_{sim},
+      name_{std::move(name)},
+      bps_{bits_per_sec},
+      delay_{prop_delay},
+      queue_{std::move(queue)} {
+  if (sim_ == nullptr || queue_ == nullptr || bps_ == 0) {
+    throw std::invalid_argument("Link: bad construction parameters");
+  }
+}
+
+void Link::send(Packet p) {
+  if (tap_ != nullptr) {
+    // Record outcome-aware: peek whether the queue accepts it.
+    Packet copy = p;
+    if (!queue_->enqueue(std::move(p))) {
+      tap_->record(PacketEvent::kDropped, copy, sim_->now());
+      return;
+    }
+    tap_->record(PacketEvent::kEnqueued, copy, sim_->now());
+  } else if (!queue_->enqueue(std::move(p))) {
+    return;  // dropped at the tail
+  }
+  if (!busy_) start_transmission();
+}
+
+void Link::start_transmission() {
+  auto popped = queue_->dequeue();
+  if (!popped) return;
+  busy_ = true;
+  const auto tx = sim::transmission_time(popped->size_bytes(), bps_);
+  sim_->schedule(tx, [this, p = std::move(*popped)]() mutable {
+    on_transmit_done(std::move(p));
+  });
+}
+
+void Link::on_transmit_done(Packet p) {
+  // Serialization finished: propagate, then hand to the peer. The link is
+  // free for the next head-of-line packet immediately.
+  busy_ = false;
+  bytes_delivered_ += p.size_bytes();
+  ++packets_delivered_;
+  if (meter_ != nullptr) meter_->add(sim_->now(), p.size_bytes());
+  if (tap_ != nullptr) tap_->record(PacketEvent::kDelivered, p, sim_->now());
+
+  assert(peer_ != nullptr && "Link::send before set_peer");
+  sim_->schedule(delay_, [peer = peer_, p = std::move(p)]() mutable {
+    peer->receive(std::move(p));
+  });
+
+  if (!queue_->empty()) start_transmission();
+}
+
+}  // namespace trim::net

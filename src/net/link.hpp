@@ -1,0 +1,69 @@
+// Unidirectional point-to-point link: egress queue -> serialization at the
+// configured bandwidth -> fixed propagation delay -> delivery to the peer
+// node. Topology helpers create one Link per direction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rate_meter.hpp"
+
+namespace trim::net {
+
+class Node;
+class TraceTap;
+
+class Link {
+ public:
+  Link(sim::Simulator* sim, std::string name, std::uint64_t bits_per_sec,
+       sim::SimTime prop_delay, std::unique_ptr<Queue> queue);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  void set_peer(Node* peer) { peer_ = peer; }
+  Node* peer() const { return peer_; }
+
+  // Hand a packet to the link. It is queued (possibly dropped) and
+  // serialized in FIFO order.
+  void send(Packet p);
+
+  Queue& queue() { return *queue_; }
+  const Queue& queue() const { return *queue_; }
+
+  std::uint64_t bits_per_sec() const { return bps_; }
+  sim::SimTime prop_delay() const { return delay_; }
+  const std::string& name() const { return name_; }
+
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+
+  // Optional throughput instrumentation; counts bytes at delivery time.
+  void set_delivery_meter(stats::RateMeter* meter) { meter_ = meter; }
+
+  // Optional packet-event observer (see net/trace_tap.hpp).
+  void set_tap(TraceTap* tap) { tap_ = tap; }
+
+ private:
+  void start_transmission();
+  void on_transmit_done(Packet p);
+
+  sim::Simulator* sim_;
+  std::string name_;
+  std::uint64_t bps_;
+  sim::SimTime delay_;
+  std::unique_ptr<Queue> queue_;
+  Node* peer_ = nullptr;
+  bool busy_ = false;
+
+  std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+  stats::RateMeter* meter_ = nullptr;
+  TraceTap* tap_ = nullptr;
+};
+
+}  // namespace trim::net

@@ -1,0 +1,25 @@
+#include "net/packet.hpp"
+
+#include <cstdio>
+
+namespace trim::net {
+
+std::string Packet::describe() const {
+  char buf[160];
+  if (is_ack) {
+    std::snprintf(buf, sizeof buf,
+                  "ACK uid=%llu flow=%u %u->%u ack=%llu of=%llu ece=%d",
+                  static_cast<unsigned long long>(uid), flow, src, dst,
+                  static_cast<unsigned long long>(seq),
+                  static_cast<unsigned long long>(ack_of_seq), ece ? 1 : 0);
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "DATA uid=%llu flow=%u %u->%u seq=%llu bytes=%u ecn=%d",
+                  static_cast<unsigned long long>(uid), flow, src, dst,
+                  static_cast<unsigned long long>(seq), payload_bytes,
+                  static_cast<int>(ecn));
+  }
+  return buf;
+}
+
+}  // namespace trim::net

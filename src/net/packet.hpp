@@ -1,0 +1,65 @@
+// The simulated packet.
+//
+// Sequence numbers are segment-counted (exactly like ns-2's TCP agents):
+// each data packet carries one segment whose byte size is tracked in
+// `payload_bytes` so that completion times stay byte-accurate even though
+// loss/ordering logic works on segment indices.
+//
+// `ts` implements the TCP timestamp option: the sender stamps each data
+// packet with its send time and the receiver echoes the stamp of the
+// segment that triggered each ACK, giving the sender one clean RTT sample
+// per ACK (what TCP-TRIM's Algorithm 2 consumes). `ack_of_seq` additionally
+// tells the sender *which* segment triggered a (possibly duplicate) ACK,
+// which is how probe-packet ACKs are recognized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace trim::net {
+
+enum class EcnCodepoint : std::uint8_t {
+  kNotEct,  // sender not ECN-capable
+  kEct,     // ECN-capable transport
+  kCe       // congestion experienced (set by an ECN queue)
+};
+
+inline constexpr std::uint32_t kTcpIpHeaderBytes = 40;
+
+struct Packet {
+  std::uint64_t uid = 0;  // globally unique, for tracing
+
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  FlowId flow = kInvalidFlow;
+
+  bool is_ack = false;
+  // Connection setup (only when handshake simulation is on): a SYN data
+  // packet or a SYN-ACK reply. SYNs live outside the segment sequence
+  // space (documented simplification).
+  bool syn = false;
+
+  // Data packet: index of the carried segment.
+  // ACK packet: cumulative ack = next expected segment index.
+  std::uint64_t seq = 0;
+
+  // ACK only: segment index that triggered this ACK (echoed by receiver).
+  std::uint64_t ack_of_seq = 0;
+
+  std::uint32_t payload_bytes = 0;  // 0 for pure ACKs
+
+  EcnCodepoint ecn = EcnCodepoint::kNotEct;
+  bool ece = false;  // ACK only: CE echo for the triggering segment
+
+  // Timestamp option: data = send time; ACK = echoed data timestamp.
+  sim::SimTime ts;
+
+  std::uint32_t size_bytes() const { return payload_bytes + kTcpIpHeaderBytes; }
+
+  std::string describe() const;  // human-readable, for logs/tests
+};
+
+}  // namespace trim::net

@@ -1,0 +1,87 @@
+#include "net/queue.hpp"
+
+#include <stdexcept>
+
+namespace trim::net {
+
+std::optional<Packet> Queue::dequeue() {
+  if (fifo_.empty()) return std::nullopt;
+  Packet p = std::move(fifo_.front());
+  fifo_.pop_front();
+  bytes_ -= p.size_bytes();
+  ++stats_.dequeued;
+  record_occupancy();
+  return p;
+}
+
+void Queue::push_back(Packet p) {
+  bytes_ += p.size_bytes();
+  ++stats_.enqueued;
+  fifo_.push_back(std::move(p));
+  record_occupancy();
+}
+
+void Queue::drop(const Packet& p) {
+  ++stats_.dropped;
+  stats_.bytes_dropped += p.size_bytes();
+  if (on_drop_) on_drop_(p);
+  record_occupancy();
+}
+
+void Queue::record_occupancy() {
+  if (trace_ != nullptr && clock_ != nullptr) {
+    trace_->record(clock_->now(), static_cast<double>(fifo_.size()));
+  }
+}
+
+DropTailQueue::DropTailQueue(QueueConfig cfg) : cfg_{cfg} {
+  if (cfg_.capacity_packets == 0 && cfg_.capacity_bytes == 0) {
+    // An unlimited queue is legal (host NIC side), nothing to validate.
+  }
+}
+
+bool DropTailQueue::has_room(const Packet& p) const {
+  if (cfg_.capacity_packets != 0 && fifo_.size() >= cfg_.capacity_packets) return false;
+  if (cfg_.capacity_bytes != 0 && bytes_ + p.size_bytes() > cfg_.capacity_bytes) return false;
+  return true;
+}
+
+bool DropTailQueue::enqueue(Packet p) {
+  if (!has_room(p)) {
+    drop(p);
+    return false;
+  }
+  push_back(std::move(p));
+  return true;
+}
+
+EcnDropTailQueue::EcnDropTailQueue(QueueConfig cfg) : DropTailQueue{cfg} {
+  if (!cfg.ecn_enabled()) {
+    throw std::invalid_argument("EcnDropTailQueue: no ECN threshold configured");
+  }
+}
+
+bool EcnDropTailQueue::enqueue(Packet p) {
+  if (!has_room(p)) {
+    drop(p);
+    return false;
+  }
+  // DCTCP instantaneous marking: compare occupancy *at arrival* against K.
+  const bool over_pkts = cfg_.ecn_threshold_packets != 0 &&
+                         fifo_.size() >= cfg_.ecn_threshold_packets;
+  const bool over_bytes = cfg_.ecn_threshold_bytes != 0 &&
+                          bytes_ + p.size_bytes() > cfg_.ecn_threshold_bytes;
+  if ((over_pkts || over_bytes) && p.ecn == EcnCodepoint::kEct) {
+    p.ecn = EcnCodepoint::kCe;
+    ++stats_.marked_ce;
+  }
+  push_back(std::move(p));
+  return true;
+}
+
+std::unique_ptr<Queue> make_queue(const QueueConfig& cfg) {
+  if (cfg.ecn_enabled()) return std::make_unique<EcnDropTailQueue>(cfg);
+  return std::make_unique<DropTailQueue>(cfg);
+}
+
+}  // namespace trim::net

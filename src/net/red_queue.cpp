@@ -1,0 +1,90 @@
+#include "net/red_queue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "net/routing.hpp"
+
+namespace trim::net {
+
+RedQueue::RedQueue(RedConfig cfg, const sim::Simulator* clock)
+    : cfg_{cfg}, rng_state_{cfg.seed} {
+  if (clock == nullptr) throw std::invalid_argument("RedQueue: null clock");
+  if (cfg_.min_th >= cfg_.max_th || cfg_.max_p <= 0.0 || cfg_.max_p > 1.0 ||
+      cfg_.weight <= 0.0 || cfg_.weight > 1.0) {
+    throw std::invalid_argument("RedQueue: invalid RED parameters");
+  }
+  clock_ = clock;  // Queue's clock slot, reused for the idle correction
+}
+
+void RedQueue::update_average() {
+  if (fifo_.empty() && idle_) {
+    // Idle correction: the queue "served" m empty slots while idle.
+    const double m =
+        (clock_->now() - idle_since_).to_seconds() / cfg_.slot_time.to_seconds();
+    avg_ *= std::pow(1.0 - cfg_.weight, std::max(m, 0.0));
+  } else {
+    avg_ = (1.0 - cfg_.weight) * avg_ +
+           cfg_.weight * static_cast<double>(fifo_.size());
+  }
+}
+
+bool RedQueue::should_early_drop() {
+  if (avg_ < cfg_.min_th) {
+    count_since_drop_ = -1;
+    return false;
+  }
+  if (avg_ >= cfg_.max_th) {
+    count_since_drop_ = 0;
+    return true;
+  }
+  ++count_since_drop_;
+  const double pb = cfg_.max_p * (avg_ - cfg_.min_th) / (cfg_.max_th - cfg_.min_th);
+  const double pa =
+      pb / std::max(1.0 - static_cast<double>(count_since_drop_) * pb, 1e-9);
+  rng_state_ = mix64(rng_state_);
+  const double u =
+      static_cast<double>(rng_state_ >> 11) / static_cast<double>(1ull << 53);
+  if (u < pa) {
+    count_since_drop_ = 0;
+    return true;
+  }
+  return false;
+}
+
+bool RedQueue::enqueue(Packet p) {
+  update_average();
+  idle_ = false;
+
+  // Hard limit first (droptail backstop).
+  if (fifo_.size() >= cfg_.capacity_packets) {
+    ++forced_drops_;
+    drop(p);
+    return false;
+  }
+
+  if (should_early_drop()) {
+    if (cfg_.mark_instead_of_drop && p.ecn == EcnCodepoint::kEct) {
+      p.ecn = EcnCodepoint::kCe;
+      ++stats_.marked_ce;
+    } else {
+      ++early_drops_;
+      drop(p);
+      return false;
+    }
+  }
+
+  push_back(std::move(p));
+  return true;
+}
+
+std::optional<Packet> RedQueue::dequeue() {
+  auto p = Queue::dequeue();
+  if (fifo_.empty() && !idle_) {
+    idle_ = true;
+    idle_since_ = clock_->now();
+  }
+  return p;
+}
+
+}  // namespace trim::net

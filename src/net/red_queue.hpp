@@ -1,0 +1,59 @@
+// RED (Random Early Detection, Floyd & Jacobson 1993) active queue
+// management. Not required by the paper's experiments (its switches are
+// plain droptail — that is TRIM's deployment premise), but included as the
+// classic AQM point of comparison for the ablation/related-work benches:
+// it shows what the *network* could do about bursts if switches were
+// upgraded, versus TRIM's end-host-only approach.
+//
+// Standard algorithm: an EWMA of the queue length is compared against
+// [min_th, max_th]; between the thresholds an arriving packet is dropped
+// (or CE-marked when `mark_instead_of_drop` and the packet is ECT) with
+// probability rising linearly to max_p; above max_th everything is
+// dropped/marked. The idle-time correction pretends the queue drained m
+// slots while empty.
+#pragma once
+
+#include <cstdint>
+
+#include "net/queue.hpp"
+
+namespace trim::net {
+
+struct RedConfig {
+  std::uint32_t capacity_packets = 100;
+  double min_th = 20.0;   // packets
+  double max_th = 60.0;
+  double max_p = 0.1;
+  double weight = 0.002;  // EWMA gain w_q
+  bool mark_instead_of_drop = false;  // ECN mode
+  std::uint64_t seed = 0x9E3779B9;
+  // Assumed per-packet service time for the idle correction.
+  sim::SimTime slot_time = sim::SimTime::micros(12);
+};
+
+class RedQueue : public Queue {
+ public:
+  RedQueue(RedConfig cfg, const sim::Simulator* clock);
+
+  bool enqueue(Packet p) override;
+  std::optional<Packet> dequeue() override;  // tracks idle periods
+
+  double avg_queue() const { return avg_; }
+  std::uint64_t early_drops() const { return early_drops_; }
+  std::uint64_t forced_drops() const { return forced_drops_; }
+
+ private:
+  void update_average();
+  bool should_early_drop();
+
+  RedConfig cfg_;  // note: the simulation clock lives in Queue::clock_
+  double avg_ = 0.0;
+  int count_since_drop_ = -1;  // packets since the last early drop
+  sim::SimTime idle_since_;
+  bool idle_ = true;
+  std::uint64_t rng_state_;
+  std::uint64_t early_drops_ = 0;
+  std::uint64_t forced_drops_ = 0;
+};
+
+}  // namespace trim::net

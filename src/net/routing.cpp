@@ -1,0 +1,35 @@
+#include "net/routing.hpp"
+
+#include <stdexcept>
+
+namespace trim::net {
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+void RoutingTable::add_route(NodeId dst, std::size_t port) {
+  if (dst >= next_hops_.size()) throw std::out_of_range("RoutingTable::add_route: bad dst");
+  next_hops_[dst].push_back(port);
+}
+
+bool RoutingTable::has_route(NodeId dst) const {
+  return dst < next_hops_.size() && !next_hops_[dst].empty();
+}
+
+const std::vector<std::size_t>& RoutingTable::ports_for(NodeId dst) const {
+  if (!has_route(dst)) throw std::out_of_range("RoutingTable: no route to destination");
+  return next_hops_[dst];
+}
+
+std::size_t RoutingTable::select_port(NodeId dst, FlowId flow, std::uint64_t salt) const {
+  const auto& ports = ports_for(dst);
+  if (ports.size() == 1) return ports[0];
+  return ports[mix64(flow ^ (salt << 32)) % ports.size()];
+}
+
+}  // namespace trim::net

@@ -1,0 +1,38 @@
+// Static shortest-path routing with ECMP.
+//
+// Routes are computed once after the topology is built (data-center fabrics
+// are static for the duration of the paper's experiments). For each switch
+// and each destination node, the table stores every egress port that lies
+// on a shortest path; the forwarding decision hashes the flow id over that
+// set, which is exactly per-flow ECMP as deployed in fat-trees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace trim::net {
+
+class RoutingTable {
+ public:
+  void resize(std::size_t num_destinations) { next_hops_.resize(num_destinations); }
+
+  void add_route(NodeId dst, std::size_t port);
+  bool has_route(NodeId dst) const;
+  const std::vector<std::size_t>& ports_for(NodeId dst) const;
+
+  // Deterministic per-flow ECMP pick. `salt` must differ per switch
+  // (use the node id): hashing the bare flow id at every hop correlates
+  // the choices hop-to-hop and leaves entire core subsets unused.
+  std::size_t select_port(NodeId dst, FlowId flow, std::uint64_t salt = 0) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> next_hops_;  // dst id -> ECMP port set
+};
+
+// 64-bit mix used to decorrelate flow ids before the modulo (consecutive
+// flow ids would otherwise all hash to consecutive ports).
+std::uint64_t mix64(std::uint64_t x);
+
+}  // namespace trim::net

@@ -1,0 +1,60 @@
+#include "net/trace_tap.hpp"
+
+#include <cstdio>
+
+#include "net/link.hpp"
+
+namespace trim::net {
+
+const char* to_string(PacketEvent e) {
+  switch (e) {
+    case PacketEvent::kEnqueued: return "ENQ ";
+    case PacketEvent::kDropped: return "DROP";
+    case PacketEvent::kDelivered: return "DLV ";
+  }
+  return "?";
+}
+
+void TraceTap::attach(Link& link) { link.set_tap(this); }
+
+void TraceTap::record(PacketEvent event, const Packet& p, sim::SimTime now) {
+  if (flow_filter_ != 0 && p.flow != flow_filter_) return;
+  if (max_entries_ != 0 && entries_.size() >= max_entries_) {
+    entries_.erase(entries_.begin(), entries_.begin() + entries_.size() / 2);
+  }
+  entries_.push_back({now, event, p});
+}
+
+std::size_t TraceTap::dropped_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.event == PacketEvent::kDropped) ++n;
+  }
+  return n;
+}
+
+std::size_t TraceTap::delivered_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.event == PacketEvent::kDelivered) ++n;
+  }
+  return n;
+}
+
+std::string TraceTap::render(std::size_t max_lines) const {
+  std::string out;
+  char buf[192];
+  std::size_t lines = 0;
+  for (const auto& e : entries_) {
+    if (lines++ >= max_lines) {
+      out += "  ... (" + std::to_string(entries_.size() - max_lines) + " more)\n";
+      break;
+    }
+    std::snprintf(buf, sizeof buf, "  %.9f %s %s\n", e.at.to_seconds(),
+                  to_string(e.event), e.packet.describe().c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace trim::net

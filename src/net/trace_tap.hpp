@@ -1,0 +1,58 @@
+// Packet-level trace tap: a tcpdump-style observer attachable to a Link.
+// Records (time, event, packet header) tuples for offline inspection —
+// the tool used to eyeball Fig. 1-style traces and to debug loss episodes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace trim::net {
+
+class Link;
+
+enum class PacketEvent : std::uint8_t {
+  kEnqueued,   // accepted into the egress queue
+  kDropped,    // rejected at the egress queue
+  kDelivered,  // handed to the peer node after propagation
+};
+
+const char* to_string(PacketEvent e);
+
+struct TraceEntry {
+  sim::SimTime at;
+  PacketEvent event;
+  Packet packet;  // header copy (payload is never materialized anyway)
+};
+
+class TraceTap {
+ public:
+  // Begins observing `link`. One tap per link; the tap must outlive the
+  // traffic it observes (not the link itself).
+  void attach(Link& link);
+
+  // Optional filter: only record packets of this flow (0 = all flows).
+  void set_flow_filter(FlowId flow) { flow_filter_ = flow; }
+  // Cap memory for long runs; oldest entries are discarded (0 = unlimited).
+  void set_max_entries(std::size_t n) { max_entries_ = n; }
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  std::size_t dropped_count() const;
+  std::size_t delivered_count() const;
+
+  // Render as "time event DATA/ACK flow seq ..." lines.
+  std::string render(std::size_t max_lines = 100) const;
+
+  void record(PacketEvent event, const Packet& p, sim::SimTime now);
+
+ private:
+  std::vector<TraceEntry> entries_;
+  FlowId flow_filter_ = 0;
+  std::size_t max_entries_ = 0;
+};
+
+}  // namespace trim::net

@@ -1,0 +1,54 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace trim::sim {
+
+EventId EventQueue::push(SimTime at, Callback cb) {
+  const auto seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(cb)});
+  return EventId{seq};
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id.valid()) cancelled_.insert(id.seq_);
+}
+
+void EventQueue::drain_cancelled() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() {
+  drain_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() {
+  drain_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drain_cancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the callback must be moved out, which is
+  // safe because we pop the entry immediately afterwards.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.at, std::move(top.cb)};
+  heap_.pop();
+  return out;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  cancelled_.clear();
+}
+
+}  // namespace trim::sim

@@ -1,0 +1,74 @@
+// Binary-heap event queue with stable ordering and lazy cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace trim::sim {
+
+// Opaque handle to a scheduled event; used to cancel timers.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr bool valid() const { return seq_ != 0; }
+  constexpr auto operator<=>(const EventId&) const = default;
+
+ private:
+  friend class EventQueue;
+  constexpr explicit EventId(std::uint64_t seq) : seq_{seq} {}
+  std::uint64_t seq_ = 0;  // 0 == invalid
+};
+
+// Priority queue of (time, insertion sequence) -> callback. Events at equal
+// times dispatch in insertion order, which keeps packet pipelines
+// deterministic. Cancellation is lazy: cancelled entries are skipped at pop
+// time, so cancel() is O(1) amortized.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventId push(SimTime at, Callback cb);
+  void cancel(EventId id);
+  bool is_cancelled(EventId id) const { return cancelled_.contains(id.seq_); }
+
+  bool empty();  // drains leading cancelled entries
+  std::size_t size() const { return heap_.size() - cancelled_.size(); }
+
+  // Time of the next live event. Queue must not be empty.
+  SimTime next_time();
+
+  // Pop and return the next live event's callback. Queue must not be empty.
+  struct Popped {
+    SimTime at;
+    Callback cb;
+  };
+  Popped pop();
+
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drain_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace trim::sim

@@ -1,0 +1,43 @@
+#include "sim/logging.hpp"
+
+#include <cstdio>
+
+#include "sim/time.hpp"
+
+namespace trim::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+bool log_enabled(LogLevel level) { return level >= g_level; }
+
+void log_message(LogLevel level, double sim_time_s, const char* fmt, ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[t=%.9fs] [%s] %s\n", sim_time_s, level_name(level), buf);
+}
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9fs", to_seconds());
+  return buf;
+}
+
+}  // namespace trim::sim

@@ -1,0 +1,33 @@
+// Minimal leveled logging for simulation components.
+//
+// Logging is off (kWarn) by default so experiment harnesses stay quiet;
+// tests and debugging sessions raise the level per-run. Messages are
+// printf-style formatted with std::snprintf to avoid iostream overhead on
+// hot paths when the level is disabled (the format call is guarded).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace trim::sim {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+bool log_enabled(LogLevel level);
+
+// Logs "[t=...s] [level] message" to stderr when `level` is enabled.
+void log_message(LogLevel level, double sim_time_s, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+#define TRIM_LOG(level, simulator_ptr, ...)                              \
+  do {                                                                   \
+    if (::trim::sim::log_enabled(level)) {                               \
+      ::trim::sim::log_message(level, (simulator_ptr)->now().to_seconds(), \
+                               __VA_ARGS__);                             \
+    }                                                                    \
+  } while (0)
+
+}  // namespace trim::sim

@@ -1,0 +1,72 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace trim::sim {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<Anchor> anchors, Interp interp)
+    : anchors_{std::move(anchors)}, interp_{interp} {
+  if (anchors_.size() < 2) throw std::invalid_argument("EmpiricalCdf: need >= 2 anchors");
+  for (std::size_t i = 1; i < anchors_.size(); ++i) {
+    if (anchors_[i].cum_prob <= anchors_[i - 1].cum_prob ||
+        anchors_[i].value < anchors_[i - 1].value) {
+      throw std::invalid_argument("EmpiricalCdf: anchors must be increasing");
+    }
+  }
+  if (std::abs(anchors_.back().cum_prob - 1.0) > 1e-9) {
+    throw std::invalid_argument("EmpiricalCdf: last cum_prob must be 1.0");
+  }
+  if (interp_ == Interp::kLogValue && anchors_.front().value <= 0.0) {
+    throw std::invalid_argument("EmpiricalCdf: log interpolation needs positive values");
+  }
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  if (p <= anchors_.front().cum_prob) return anchors_.front().value;
+  const auto it = std::lower_bound(
+      anchors_.begin(), anchors_.end(), p,
+      [](const Anchor& a, double prob) { return a.cum_prob < prob; });
+  assert(it != anchors_.begin() && it != anchors_.end());
+  const Anchor& hi = *it;
+  const Anchor& lo = *(it - 1);
+  const double f = (p - lo.cum_prob) / (hi.cum_prob - lo.cum_prob);
+  if (interp_ == Interp::kLogValue) {
+    return std::exp(std::log(lo.value) + f * (std::log(hi.value) - std::log(lo.value)));
+  }
+  return lo.value + f * (hi.value - lo.value);
+}
+
+double EmpiricalCdf::sample(Rng& rng) const { return quantile(rng.uniform01()); }
+
+EmpiricalCdf EmpiricalCdf::from_samples(std::vector<double> samples,
+                                        std::size_t num_anchors, Interp interp) {
+  if (samples.size() < 2 || num_anchors < 2) {
+    throw std::invalid_argument("EmpiricalCdf::from_samples: need >= 2 samples/anchors");
+  }
+  std::sort(samples.begin(), samples.end());
+  std::vector<Anchor> anchors;
+  anchors.reserve(num_anchors);
+  double prev_value = samples.front() - 1.0;
+  for (std::size_t i = 0; i < num_anchors; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(num_anchors - 1);
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(samples.size() - 1));
+    double value = samples[rank];
+    // Anchors must be strictly increasing in probability and nondecreasing
+    // in value; nudge duplicates by an epsilon in value space.
+    if (value <= prev_value) value = prev_value + 1e-9;
+    prev_value = value;
+    anchors.push_back({value, i == num_anchors - 1 ? 1.0
+                                                   : std::max(p, anchors.empty()
+                                                                     ? 0.0
+                                                                     : anchors.back().cum_prob +
+                                                                           1e-9)});
+  }
+  return EmpiricalCdf{std::move(anchors), interp};
+}
+
+}  // namespace trim::sim

@@ -1,0 +1,83 @@
+// Seeded random-number utilities used by workload generators and ECMP.
+//
+// Every experiment owns one Rng seeded from (experiment seed, run index) so
+// repetitions are independent but reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace trim::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_{seed} {}
+
+  // Derive an independent stream, e.g. one per flow.
+  Rng fork() { return Rng{engine_()}; }
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  double uniform01() {
+    return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+  }
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {  // inclusive
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+  double exponential(double mean) {
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+
+  SimTime uniform_time(SimTime lo, SimTime hi) {
+    return SimTime::nanos(uniform_int(lo.ns(), hi.ns()));
+  }
+  SimTime exponential_time(SimTime mean) {
+    return SimTime::nanos(static_cast<std::int64_t>(
+        exponential(static_cast<double>(mean.ns()))));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+// A piecewise-linear empirical distribution defined by CDF anchor points
+// (value, cumulative probability). Sampling inverts the CDF; values between
+// anchors are interpolated either linearly or logarithmically in value
+// space (log interpolation suits heavy-tailed size distributions like the
+// packet-train sizes of the paper's Fig. 2(a)).
+class EmpiricalCdf {
+ public:
+  struct Anchor {
+    double value;
+    double cum_prob;  // strictly increasing, last == 1.0
+  };
+  enum class Interp { kLinear, kLogValue };
+
+  EmpiricalCdf(std::vector<Anchor> anchors, Interp interp);
+
+  // Fit anchors to observed samples at an even quantile grid — used to
+  // replay recorded traces (sorts a copy; needs >= 2 distinct values).
+  static EmpiricalCdf from_samples(std::vector<double> samples,
+                                   std::size_t num_anchors = 17,
+                                   Interp interp = Interp::kLinear);
+
+  double sample(Rng& rng) const;
+  double quantile(double p) const;  // inverse CDF
+  double min() const { return anchors_.front().value; }
+  double max() const { return anchors_.back().value; }
+
+ private:
+  std::vector<Anchor> anchors_;
+  Interp interp_;
+};
+
+}  // namespace trim::sim

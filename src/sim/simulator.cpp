@@ -1,0 +1,38 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace trim::sim {
+
+EventId Simulator::schedule(SimTime delay, Callback cb) {
+  if (delay < SimTime::zero()) delay = SimTime::zero();
+  return queue_.push(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::schedule_at(SimTime at, Callback cb) {
+  if (at < now_) at = now_;
+  return queue_.push(at, std::move(cb));
+}
+
+std::uint64_t Simulator::run() { return run_until(SimTime::max()); }
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto [at, cb] = queue_.pop();
+    now_ = at;
+    cb();
+    ++n;
+  }
+  if (until != SimTime::max() && now_ < until) now_ = until;
+  dispatched_ += n;
+  return n;
+}
+
+void Simulator::reset() {
+  queue_.clear();
+  now_ = SimTime::zero();
+  dispatched_ = 0;
+}
+
+}  // namespace trim::sim

@@ -1,0 +1,51 @@
+// The discrete-event simulator: a clock plus an event queue.
+//
+// Every component in the system (links, queues, TCP agents, applications)
+// holds a Simulator* and schedules callbacks on it. One Simulator instance
+// owns one independent simulated world; experiments create a fresh
+// Simulator per run so repetitions are isolated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace trim::sim {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedule `cb` to run `delay` after now. Negative delays are clamped to
+  // zero (run "immediately", after already-pending events at `now`).
+  EventId schedule(SimTime delay, Callback cb);
+  EventId schedule_at(SimTime at, Callback cb);
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  // Run until the queue drains or `until` is reached (whichever is first).
+  // Events scheduled exactly at `until` are executed. Returns the number of
+  // events dispatched.
+  std::uint64_t run();
+  std::uint64_t run_until(SimTime until);
+
+  // Discard all pending events (used by tests).
+  void reset();
+
+  std::uint64_t events_dispatched() const { return dispatched_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace trim::sim

@@ -1,0 +1,74 @@
+// Strong-typed simulation time.
+//
+// All of the simulator works in integer nanoseconds. Data-center RTTs are
+// O(100 us) and serialization times at 10 Gbps are O(1 us), so nanosecond
+// resolution leaves three orders of magnitude of headroom while an int64_t
+// still covers ~292 years of simulated time.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace trim::sim {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  // Named constructors; the default constructor is time zero.
+  static constexpr SimTime nanos(std::int64_t ns) { return SimTime{ns}; }
+  static constexpr SimTime micros(std::int64_t us) { return SimTime{us * 1000}; }
+  static constexpr SimTime millis(std::int64_t ms) { return SimTime{ms * 1'000'000}; }
+  static constexpr SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double to_micros() const { return static_cast<double>(ns_) * 1e-3; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ns_ + o.ns_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ns_ - o.ns_}; }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime{ns_ * k}; }
+  constexpr SimTime operator/(std::int64_t k) const { return SimTime{ns_ / k}; }
+
+  // Scale by a dimensionless double (used by EWMA-style smoothing).
+  constexpr SimTime scaled(double f) const {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(ns_) * f)};
+  }
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+inline SimTime operator*(std::int64_t k, SimTime t) { return t * k; }
+
+// Time needed to serialize `bytes` onto a link of `bits_per_sec`.
+constexpr SimTime transmission_time(std::uint64_t bytes, std::uint64_t bits_per_sec) {
+  // ns = bytes * 8 / (bits/s) * 1e9, computed to avoid overflow for
+  // realistic values (bytes < 2^32, rate <= 400 Gbps).
+  const auto bits = static_cast<__int128>(bytes) * 8 * 1'000'000'000;
+  return SimTime::nanos(static_cast<std::int64_t>(bits / bits_per_sec));
+}
+
+}  // namespace trim::sim

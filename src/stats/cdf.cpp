@@ -1,0 +1,79 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace trim::stats {
+
+void Cdf::add(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+void Cdf::add_all(std::span<const double> values) {
+  values_.insert(values_.end(), values.begin(), values.end());
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::quantile(double p) const {
+  if (values_.empty()) throw std::logic_error("Cdf::quantile on empty CDF");
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(values_.size())));
+  return values_[rank == 0 ? 0 : rank - 1];
+}
+
+double Cdf::fraction_leq(double value) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), value);
+  return static_cast<double>(it - values_.begin()) / static_cast<double>(values_.size());
+}
+
+double Cdf::min() const {
+  if (values_.empty()) throw std::logic_error("Cdf::min on empty CDF");
+  ensure_sorted();
+  return values_.front();
+}
+
+double Cdf::max() const {
+  if (values_.empty()) throw std::logic_error("Cdf::max on empty CDF");
+  ensure_sorted();
+  return values_.back();
+}
+
+double Cdf::mean() const {
+  if (values_.empty()) throw std::logic_error("Cdf::mean on empty CDF");
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+std::vector<double> Cdf::sorted_values() const {
+  ensure_sorted();
+  return values_;
+}
+
+std::string Cdf::to_table(std::size_t points) const {
+  if (points < 2) throw std::invalid_argument("Cdf::to_table: need >= 2 points");
+  std::string out;
+  char buf[64];
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(points - 1);
+    std::snprintf(buf, sizeof buf, "%12.4f  %6.4f\n", quantile(p), p);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace trim::stats

@@ -1,0 +1,39 @@
+// Exact empirical CDF over collected samples (kept sorted on demand).
+// Used for the paper's CDF plots (Figs. 2, 13(e)).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace trim::stats {
+
+class Cdf {
+ public:
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  // p in [0,1]; nearest-rank quantile.
+  double quantile(double p) const;
+  double fraction_leq(double value) const;
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  // Sorted copy of the samples, for printing full curves.
+  std::vector<double> sorted_values() const;
+
+  // Render as "value cum_prob" rows at `points` evenly spaced probabilities.
+  std::string to_table(std::size_t points) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace trim::stats

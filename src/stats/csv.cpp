@@ -1,0 +1,86 @@
+#include "stats/csv.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace trim::stats {
+
+CsvWriter::CsvWriter(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("CsvWriter: cannot open " + path);
+  file_ = f;
+}
+
+CsvWriter::~CsvWriter() { std::fclose(static_cast<FILE*>(file_)); }
+
+void CsvWriter::write_line(const std::string& line) {
+  std::fputs(line.c_str(), static_cast<FILE*>(file_));
+  std::fputc('\n', static_cast<FILE*>(file_));
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  std::string line;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) line += ',';
+    line += columns[i];
+  }
+  write_line(line);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::string line;
+  char buf[40];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) line += ',';
+    std::snprintf(buf, sizeof buf, "%.9g", values[i]);
+    line += buf;
+  }
+  write_line(line);
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) line += ',';
+    line += cells[i];
+  }
+  write_line(line);
+  ++rows_;
+}
+
+std::string csv_dir() {
+  const char* env = std::getenv("REPRO_CSV_DIR");
+  return env != nullptr ? env : "";
+}
+
+std::string maybe_write_series(const std::string& name, const TimeSeries& series,
+                               const std::string& value_column) {
+  const auto dir = csv_dir();
+  if (dir.empty()) return "";
+  const auto path = dir + "/" + name + ".csv";
+  CsvWriter csv{path};
+  csv.header({"time_s", value_column});
+  for (const auto& s : series.samples()) {
+    csv.row(std::vector<double>{s.at.to_seconds(), s.value});
+  }
+  return path;
+}
+
+std::string maybe_write_cdf(const std::string& name, const Cdf& cdf,
+                            const std::string& value_column) {
+  const auto dir = csv_dir();
+  if (dir.empty()) return "";
+  const auto path = dir + "/" + name + ".csv";
+  CsvWriter csv{path};
+  csv.header({value_column, "cum_prob"});
+  const auto values = cdf.sorted_values();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    csv.row(std::vector<double>{
+        values[i], static_cast<double>(i + 1) / static_cast<double>(values.size())});
+  }
+  return path;
+}
+
+}  // namespace trim::stats

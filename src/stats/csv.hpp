@@ -1,0 +1,45 @@
+// CSV export for plotting the bench output with external tools.
+// Benches call maybe_write_* which are no-ops unless REPRO_CSV_DIR is set
+// (so the default run stays filesystem-clean).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/cdf.hpp"
+#include "stats/time_series.hpp"
+
+namespace trim::stats {
+
+class CsvWriter {
+ public:
+  // Creates/truncates `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void header(const std::vector<std::string>& columns);
+  void row(const std::vector<double>& values);
+  void row(const std::vector<std::string>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_line(const std::string& line);
+  void* file_;  // FILE*, kept opaque to avoid <cstdio> in the header
+  std::size_t rows_ = 0;
+};
+
+// Directory from REPRO_CSV_DIR, or empty when export is disabled.
+std::string csv_dir();
+
+// Write helpers; silently do nothing when csv_dir() is empty.
+// Returns the path written, or "" when skipped.
+std::string maybe_write_series(const std::string& name, const TimeSeries& series,
+                               const std::string& value_column);
+std::string maybe_write_cdf(const std::string& name, const Cdf& cdf,
+                            const std::string& value_column);
+
+}  // namespace trim::stats

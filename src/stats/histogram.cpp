@@ -1,0 +1,45 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trim::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, width_{(hi - lo) / static_cast<double>(bins)} {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument("Histogram: bad range/bins");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+  } else if (value >= hi_) {
+    ++overflow_;
+  } else {
+    const auto i = static_cast<std::size_t>((value - lo_) / width_);
+    ++counts_[i < counts_.size() ? i : counts_.size() - 1];
+  }
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::fraction_leq(double value) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t n = underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (bin_hi(i) <= value) {
+      n += counts_[i];
+    } else if (bin_lo(i) < value) {
+      // Pro-rate the straddling bin linearly.
+      const double f = (value - bin_lo(i)) / width_;
+      n += static_cast<std::uint64_t>(std::llround(f * static_cast<double>(counts_[i])));
+    }
+  }
+  if (value >= hi_) n += overflow_;
+  return static_cast<double>(n) / static_cast<double>(total_);
+}
+
+}  // namespace trim::stats

@@ -1,0 +1,57 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trim::stats {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double Summary::mean() const {
+  if (n_ == 0) throw std::logic_error("Summary::mean on empty summary");
+  return sum_ / static_cast<double>(n_);
+}
+
+double Summary::min() const {
+  if (n_ == 0) throw std::logic_error("Summary::min on empty summary");
+  return min_;
+}
+
+double Summary::max() const {
+  if (n_ == 0) throw std::logic_error("Summary::max on empty summary");
+  return max_;
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  const double m = mean();
+  const double v = (sum_sq_ - static_cast<double>(n_) * m * m) /
+                   static_cast<double>(n_ - 1);
+  return std::max(v, 0.0);  // guard tiny negative from rounding
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double jain_fairness_index(std::span<const double> throughputs) {
+  if (throughputs.empty()) throw std::invalid_argument("jain_fairness_index: empty");
+  double s = 0.0, ss = 0.0;
+  for (double x : throughputs) {
+    s += x;
+    ss += x * x;
+  }
+  if (ss == 0.0) return 1.0;  // all zero: degenerate but "fair"
+  return s * s / (static_cast<double>(throughputs.size()) * ss);
+}
+
+}  // namespace trim::stats

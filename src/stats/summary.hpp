@@ -1,0 +1,32 @@
+// Streaming summary statistics (count/mean/min/max/stddev) and helpers
+// shared by the experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace trim::stats {
+
+class Summary {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0, sum_sq_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 == perfectly fair.
+double jain_fairness_index(std::span<const double> throughputs);
+
+}  // namespace trim::stats

@@ -1,0 +1,70 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace trim::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {
+  if (headers_.empty()) throw std::invalid_argument("Table: need headers");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count != header count");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+    out += "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += " ";
+      out += cells[c];
+      out.append(width[c] - cells[c].size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+
+  std::string sep = "+";
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    sep.append(width[c] + 2, '-');
+    sep += "+";
+  }
+  sep += "\n";
+
+  std::string out = sep;
+  emit_row(headers_, out);
+  out += sep;
+  for (const auto& row : rows_) emit_row(row, out);
+  out += sep;
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace trim::stats

@@ -1,0 +1,30 @@
+// ASCII table printer used by benches to emit paper-style rows.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace trim::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  // Convenience: format cells from doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+
+  std::string render() const;
+  void print() const;  // to stdout
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace trim::stats

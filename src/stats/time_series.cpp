@@ -1,0 +1,59 @@
+#include "stats/time_series.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace trim::stats {
+
+double TimeSeries::max_value() const {
+  if (samples_.empty()) throw std::logic_error("TimeSeries::max_value on empty series");
+  return std::max_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.value < b.value;
+                          })
+      ->value;
+}
+
+double TimeSeries::min_value() const {
+  if (samples_.empty()) throw std::logic_error("TimeSeries::min_value on empty series");
+  return std::min_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.value < b.value;
+                          })
+      ->value;
+}
+
+double TimeSeries::time_weighted_mean() const {
+  if (samples_.empty()) throw std::logic_error("TimeSeries::time_weighted_mean on empty series");
+  if (samples_.size() == 1) return samples_.front().value;
+  double area = 0.0;
+  for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+    const double dt = (samples_[i + 1].at - samples_[i].at).to_seconds();
+    area += samples_[i].value * dt;
+  }
+  const double span = (samples_.back().at - samples_.front().at).to_seconds();
+  if (span <= 0.0) return samples_.front().value;
+  return area / span;
+}
+
+double TimeSeries::value_at(sim::SimTime t) const {
+  if (samples_.empty()) throw std::logic_error("TimeSeries::value_at on empty series");
+  if (t < samples_.front().at) return samples_.front().value;
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](sim::SimTime time, const Sample& s) { return time < s.at; });
+  return (it - 1)->value;
+}
+
+TimeSeries TimeSeries::downsampled(std::size_t max_points) const {
+  if (max_points == 0 || samples_.size() <= max_points) return *this;
+  TimeSeries out;
+  const std::size_t stride = (samples_.size() + max_points - 1) / max_points;
+  for (std::size_t i = 0; i < samples_.size(); i += stride) {
+    out.record(samples_[i].at, samples_[i].value);
+  }
+  return out;
+}
+
+}  // namespace trim::stats

@@ -1,0 +1,43 @@
+// Append-only (time, value) series used for traces such as queue length or
+// congestion-window evolution (paper Figs. 4, 6, 9(a)).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace trim::stats {
+
+class TimeSeries {
+ public:
+  struct Sample {
+    sim::SimTime at;
+    double value;
+  };
+
+  void record(sim::SimTime at, double value) { samples_.push_back({at, value}); }
+
+  std::span<const Sample> samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double max_value() const;
+  double min_value() const;
+  // Time-weighted mean over [first sample, last sample], treating the
+  // series as a step function (value holds until the next sample). This is
+  // the right integral for queue-length averages.
+  double time_weighted_mean() const;
+  // Value at time t (step interpolation); samples must be time-ordered.
+  double value_at(sim::SimTime t) const;
+
+  // Downsample to at most `max_points` by keeping every k-th sample; used
+  // when printing long traces.
+  TimeSeries downsampled(std::size_t max_points) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace trim::stats

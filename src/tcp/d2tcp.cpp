@@ -1,0 +1,36 @@
+#include "tcp/d2tcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trim::tcp {
+
+D2tcpSender::D2tcpSender(net::Host* host, net::NodeId dst, net::FlowId flow,
+                         TcpConfig cfg, D2tcpConfig d2tcp, DctcpConfig dctcp)
+    : DctcpSender{host, dst, flow, cfg, dctcp}, d2tcp_{d2tcp} {}
+
+double D2tcpSender::urgency() const {
+  if (!deadline_ || !rtt().has_sample()) return 1.0;
+
+  const auto now = simulator()->now();
+  const double allowed = (*deadline_ - now).to_seconds();
+  const std::uint64_t remaining_bytes = bytes_written() - bytes_acked();
+  if (remaining_bytes == 0) return 1.0;
+  if (allowed <= 0.0) return d2tcp_.d_max;  // already late: maximum urgency
+
+  // Tc: time still needed at the current rate (cwnd per RTT).
+  const double rate_bps =
+      cwnd() * static_cast<double>(config().mss) / rtt().srtt().to_seconds();
+  const double needed = static_cast<double>(remaining_bytes) / rate_bps;
+
+  // d = Tc / D, clamped. d < 1 near the deadline (back off less).
+  return std::clamp(needed / allowed, d2tcp_.d_min, d2tcp_.d_max);
+}
+
+double D2tcpSender::decrease_factor() const {
+  // Gamma correction: p = alpha^d; DCTCP's cut is p/2.
+  const double p = std::pow(alpha(), urgency());
+  return std::min(p / 2.0, 0.5);
+}
+
+}  // namespace trim::tcp

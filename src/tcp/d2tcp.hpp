@@ -1,0 +1,49 @@
+// D2TCP (Vamanan, Hasan, Vijaykumar — SIGCOMM 2012), the deadline-aware
+// DCTCP variant the paper discusses in its related work ([15]). Included
+// to complete the cited protocol family.
+//
+// D2TCP keeps DCTCP's alpha but gamma-corrects the back-off with a
+// deadline-urgency factor d:  p = alpha^d,  cwnd *= (1 - p/2). Since
+// alpha is in (0,1), a larger d gives a *smaller* cut:
+//   d > 1  — near-deadline flows back off less (push to the deadline),
+//   d < 1  — far-deadline flows back off more (release bandwidth),
+//   d = 1  — exactly DCTCP.
+// d is computed per the paper as Tc / D (time the flow still *needs*,
+// over the time the deadline still *allows*), clamped to [d_min, d_max].
+#pragma once
+
+#include <optional>
+
+#include "tcp/dctcp.hpp"
+
+namespace trim::tcp {
+
+struct D2tcpConfig {
+  double d_min = 0.5;
+  double d_max = 2.0;
+};
+
+class D2tcpSender : public DctcpSender {
+ public:
+  D2tcpSender(net::Host* host, net::NodeId dst, net::FlowId flow, TcpConfig cfg,
+              D2tcpConfig d2tcp = {}, DctcpConfig dctcp = {});
+
+  Protocol protocol() const override { return Protocol::kD2tcp; }
+
+  // Absolute simulation time by which the outstanding data should finish.
+  // Without a deadline the sender behaves exactly like DCTCP (d = 1).
+  void set_deadline(sim::SimTime deadline) { deadline_ = deadline; }
+  void clear_deadline() { deadline_.reset(); }
+
+  // The current urgency factor d (1.0 when no deadline is set).
+  double urgency() const;
+
+ protected:
+  double decrease_factor() const override;
+
+ private:
+  D2tcpConfig d2tcp_;
+  std::optional<sim::SimTime> deadline_;
+};
+
+}  // namespace trim::tcp

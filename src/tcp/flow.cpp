@@ -1,0 +1,17 @@
+#include "tcp/flow.hpp"
+
+#include <stdexcept>
+
+namespace trim::tcp {
+
+Flow make_flow(net::Network& network, net::Host& src, net::Host& dst,
+               const SenderFactory& factory) {
+  if (!factory) throw std::invalid_argument("make_flow: null sender factory");
+  Flow flow;
+  flow.id = network.new_flow_id();
+  flow.receiver = std::make_unique<TcpReceiver>(&dst, flow.id, src.id());
+  flow.sender = factory(&src, dst.id(), flow.id);
+  return flow;
+}
+
+}  // namespace trim::tcp

@@ -1,0 +1,31 @@
+// A Flow owns one TCP sender/receiver pair registered on two hosts under a
+// shared flow id — the "persistent TCP connection" of the paper. The
+// three-way handshake is not simulated: HTTP keeps connections established
+// across requests, so every experiment starts from the established state.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/network.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace trim::tcp {
+
+struct Flow {
+  net::FlowId id = net::kInvalidFlow;
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<TcpReceiver> receiver;
+};
+
+// Builds the sender half; lets callers inject any TcpSender subclass.
+using SenderFactory = std::function<std::unique_ptr<TcpSender>(
+    net::Host* src, net::NodeId dst, net::FlowId flow)>;
+
+// Allocates a flow id from `network`, constructs the receiver on `dst` and
+// the sender (via `factory`) on `src`.
+Flow make_flow(net::Network& network, net::Host& src, net::Host& dst,
+               const SenderFactory& factory);
+
+}  // namespace trim::tcp

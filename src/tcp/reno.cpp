@@ -1,0 +1,33 @@
+#include "tcp/reno.hpp"
+
+#include <stdexcept>
+
+namespace trim::tcp {
+
+std::string to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kReno: return "TCP";
+    case Protocol::kCubic: return "CUBIC";
+    case Protocol::kDctcp: return "DCTCP";
+    case Protocol::kL2dct: return "L2DCT";
+    case Protocol::kTrim: return "TCP-TRIM";
+    case Protocol::kVegas: return "Vegas";
+    case Protocol::kD2tcp: return "D2TCP";
+    case Protocol::kGip: return "GIP";
+  }
+  return "?";
+}
+
+Protocol protocol_from_string(const std::string& name) {
+  if (name == "TCP" || name == "reno" || name == "Reno") return Protocol::kReno;
+  if (name == "CUBIC" || name == "cubic") return Protocol::kCubic;
+  if (name == "DCTCP" || name == "dctcp") return Protocol::kDctcp;
+  if (name == "L2DCT" || name == "l2dct") return Protocol::kL2dct;
+  if (name == "TCP-TRIM" || name == "trim" || name == "TRIM") return Protocol::kTrim;
+  if (name == "Vegas" || name == "vegas") return Protocol::kVegas;
+  if (name == "D2TCP" || name == "d2tcp") return Protocol::kD2tcp;
+  if (name == "GIP" || name == "gip") return Protocol::kGip;
+  throw std::invalid_argument("unknown protocol: " + name);
+}
+
+}  // namespace trim::tcp

@@ -1,0 +1,15 @@
+// TCP Reno/NewReno — the "TCP" baseline in every figure of the paper.
+// All behavior lives in the TcpSender base; this class only names it.
+#pragma once
+
+#include "tcp/tcp_sender.hpp"
+
+namespace trim::tcp {
+
+class RenoSender : public TcpSender {
+ public:
+  using TcpSender::TcpSender;
+  Protocol protocol() const override { return Protocol::kReno; }
+};
+
+}  // namespace trim::tcp

@@ -1,0 +1,28 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace trim::tcp {
+
+void RttEstimator::add_sample(sim::SimTime rtt) {
+  if (rtt < sim::SimTime::zero()) rtt = sim::SimTime::zero();
+  min_rtt_ = std::min(min_rtt_, rtt);
+  if (n_samples_ == 0) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+  } else {
+    const auto err = sim::SimTime::nanos(std::llabs((srtt_ - rtt).ns()));
+    rttvar_ = rttvar_.scaled(0.75) + err.scaled(0.25);
+    srtt_ = srtt_.scaled(0.875) + rtt.scaled(0.125);
+  }
+  ++n_samples_;
+}
+
+sim::SimTime RttEstimator::rto(sim::SimTime min_rto, sim::SimTime max_rto) const {
+  if (n_samples_ == 0) return min_rto;
+  const auto raw = srtt_ + 4 * rttvar_;
+  return std::clamp(raw, min_rto, max_rto);
+}
+
+}  // namespace trim::tcp

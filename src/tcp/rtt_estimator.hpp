@@ -1,0 +1,31 @@
+// RFC 6298 RTT estimation (SRTT / RTTVAR / RTO) plus a running minimum,
+// which TCP-TRIM uses as its estimate of the queue-free base RTT D.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace trim::tcp {
+
+class RttEstimator {
+ public:
+  void add_sample(sim::SimTime rtt);
+
+  bool has_sample() const { return n_samples_ > 0; }
+  sim::SimTime srtt() const { return srtt_; }
+  sim::SimTime rttvar() const { return rttvar_; }
+  sim::SimTime min_rtt() const { return min_rtt_; }
+  std::uint64_t samples() const { return n_samples_; }
+
+  // RTO = SRTT + 4*RTTVAR clamped to [min_rto, max_rto]; before the first
+  // sample, returns min_rto (conservative bring-up, matches ns-2 defaults
+  // scaled to data-center RTOs).
+  sim::SimTime rto(sim::SimTime min_rto, sim::SimTime max_rto) const;
+
+ private:
+  sim::SimTime srtt_;
+  sim::SimTime rttvar_;
+  sim::SimTime min_rtt_ = sim::SimTime::max();
+  std::uint64_t n_samples_ = 0;
+};
+
+}  // namespace trim::tcp

@@ -1,0 +1,116 @@
+#include "tcp/tcp_receiver.hpp"
+
+#include <stdexcept>
+
+namespace trim::tcp {
+
+TcpReceiver::TcpReceiver(net::Host* host, net::FlowId flow, net::NodeId peer,
+                         ReceiverConfig cfg)
+    : host_{host},
+      flow_{flow},
+      peer_{peer},
+      cfg_{cfg},
+      sim_{host != nullptr ? host->simulator() : nullptr} {
+  if (host_ == nullptr) throw std::invalid_argument("TcpReceiver: null host");
+  host_->register_agent(flow_, this);
+}
+
+TcpReceiver::~TcpReceiver() {
+  if (delack_event_.valid()) sim_->cancel(delack_event_);
+  host_->unregister_agent(flow_);
+}
+
+void TcpReceiver::on_packet(const net::Packet& p) {
+  if (p.is_ack) return;  // the receiver side only consumes data
+
+  if (p.syn) {
+    net::Packet synack;
+    synack.dst = peer_;
+    synack.flow = flow_;
+    synack.is_ack = true;
+    synack.syn = true;
+    synack.ts = p.ts;  // timestamp echo for the handshake RTT sample
+    host_->send(std::move(synack));
+    return;
+  }
+
+  ++received_data_packets_;
+  if (p.ecn == net::EcnCodepoint::kCe) ++ce_marked_packets_;
+
+  bool in_order = false;
+  if (p.seq < rcv_next_) {
+    ++duplicate_data_packets_;  // spurious retransmission
+  } else if (p.seq == rcv_next_) {
+    in_order = true;
+    std::uint64_t newly = p.payload_bytes;
+    ++rcv_next_;
+    // Drain any contiguous out-of-order segments.
+    for (auto it = out_of_order_.begin();
+         it != out_of_order_.end() && it->first == rcv_next_;
+         it = out_of_order_.erase(it)) {
+      newly += it->second;
+      ++rcv_next_;
+    }
+    delivered_bytes_ += newly;
+    if (on_deliver_) on_deliver_(newly);
+  } else {
+    const auto [it, inserted] = out_of_order_.emplace(p.seq, p.payload_bytes);
+    (void)it;
+    if (!inserted) ++duplicate_data_packets_;
+  }
+
+  if (!cfg_.delayed_ack) {
+    send_ack(p);
+    return;
+  }
+
+  // Delayed-ACK mode. Anything that is not a clean in-order advance must
+  // be signalled immediately: duplicates and holes generate the dupacks
+  // fast retransmit depends on.
+  const bool ce_now = p.ecn == net::EcnCodepoint::kCe;
+  const bool ce_changed = ce_now != last_ce_state_;
+  last_ce_state_ = ce_now;
+
+  if (!in_order || ce_changed) {
+    send_ack(p);
+    return;
+  }
+
+  pending_trigger_ = p;
+  have_pending_ = true;
+  if (++pending_unacked_ >= cfg_.ack_every) {
+    send_ack(p);
+    return;
+  }
+  if (!delack_event_.valid()) {
+    delack_event_ = sim_->schedule(cfg_.delack_timer, [this] { on_delack_timer(); });
+  }
+}
+
+void TcpReceiver::on_delack_timer() {
+  delack_event_ = sim::EventId{};
+  if (have_pending_) send_ack(pending_trigger_);
+}
+
+void TcpReceiver::send_ack(const net::Packet& data) {
+  pending_unacked_ = 0;
+  have_pending_ = false;
+  if (delack_event_.valid()) {
+    sim_->cancel(delack_event_);
+    delack_event_ = sim::EventId{};
+  }
+
+  net::Packet ack;
+  ack.dst = peer_;
+  ack.flow = flow_;
+  ack.is_ack = true;
+  ack.seq = rcv_next_;
+  ack.ack_of_seq = data.seq;
+  ack.payload_bytes = 0;
+  ack.ece = data.ecn == net::EcnCodepoint::kCe;
+  ack.ts = data.ts;  // timestamp echo
+  ++acks_sent_;
+  host_->send(std::move(ack));
+}
+
+}  // namespace trim::tcp

@@ -1,0 +1,91 @@
+// TCP receiver: cumulative ACKs with out-of-order buffering.
+//
+// Default mode ACKs every data segment immediately (no delayed ACK; data
+// center stacks routinely disable it and the paper's analysis assumes
+// per-packet clocking). Each ACK echoes:
+//   - the cumulative ack (next expected segment),
+//   - the sequence number of the segment that triggered it (`ack_of_seq`),
+//     which lets TCP-TRIM recognize probe ACKs,
+//   - the sender timestamp (`ts`), giving one RTT sample per ACK,
+//   - the CE mark of the triggering segment (`ece`), an exact per-packet
+//     version of DCTCP's ECN echo.
+//
+// An optional delayed-ACK mode (`ReceiverConfig::delayed_ack`) coalesces
+// up to `ack_every` in-order segments or a timer, with the DCTCP rule that
+// a change in the CE state of arriving segments forces an immediate ACK
+// (so the sender's mark-fraction estimate stays exact, per the DCTCP
+// paper's two-state ACK machine). Out-of-order arrivals always ACK
+// immediately (duplicate ACKs must not be delayed).
+//
+// The receiver also answers SYNs with SYN-ACKs when the sender simulates
+// the three-way handshake.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/host.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_common.hpp"
+
+namespace trim::tcp {
+
+struct ReceiverConfig {
+  bool delayed_ack = false;
+  int ack_every = 2;  // ACK after this many unacked in-order segments
+  sim::SimTime delack_timer = sim::SimTime::micros(500);
+};
+
+class TcpReceiver : public net::Agent {
+ public:
+  // Registers itself on `host` for `flow`; ACKs go back to `peer`.
+  TcpReceiver(net::Host* host, net::FlowId flow, net::NodeId peer,
+              ReceiverConfig cfg = {});
+  ~TcpReceiver() override;
+
+  void on_packet(const net::Packet& p) override;
+
+  SeqNum rcv_next() const { return rcv_next_; }
+  std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+  std::uint64_t received_data_packets() const { return received_data_packets_; }
+  std::uint64_t duplicate_data_packets() const { return duplicate_data_packets_; }
+  std::uint64_t ce_marked_packets() const { return ce_marked_packets_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+
+  // Called with the byte count each time new in-order data is delivered.
+  void set_deliver_callback(std::function<void(std::uint64_t)> cb) {
+    on_deliver_ = std::move(cb);
+  }
+
+ private:
+  void send_ack(const net::Packet& data);
+  void on_delack_timer();
+
+  net::Host* host_;
+  net::FlowId flow_;
+  net::NodeId peer_;
+  ReceiverConfig cfg_;
+  sim::Simulator* sim_;
+
+  SeqNum rcv_next_ = 0;
+  std::map<SeqNum, std::uint32_t> out_of_order_;  // seq -> payload bytes
+
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t received_data_packets_ = 0;
+  std::uint64_t duplicate_data_packets_ = 0;
+  std::uint64_t ce_marked_packets_ = 0;
+  std::uint64_t acks_sent_ = 0;
+
+  // Delayed-ACK state.
+  int pending_unacked_ = 0;
+  bool have_pending_ = false;
+  net::Packet pending_trigger_;  // last in-order segment awaiting an ACK
+  bool last_ce_state_ = false;
+  sim::EventId delack_event_;
+
+  std::function<void(std::uint64_t)> on_deliver_;
+};
+
+}  // namespace trim::tcp

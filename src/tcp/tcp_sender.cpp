@@ -1,0 +1,339 @@
+#include "tcp/tcp_sender.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/logging.hpp"
+
+namespace trim::tcp {
+
+namespace {
+constexpr double kInitialSsthresh = 1e9;  // "infinite": slow start until loss
+}
+
+TcpSender::TcpSender(net::Host* host, net::NodeId dst, net::FlowId flow, TcpConfig cfg)
+    : host_{host},
+      dst_{dst},
+      flow_{flow},
+      cfg_{cfg},
+      sim_{host != nullptr ? host->simulator() : nullptr},
+      cwnd_{cfg.initial_cwnd},
+      ssthresh_{kInitialSsthresh} {
+  if (host_ == nullptr) throw std::invalid_argument("TcpSender: null host");
+  if (cfg_.mss == 0) throw std::invalid_argument("TcpSender: zero MSS");
+  established_ = !cfg_.simulate_handshake;
+  host_->register_agent(flow_, this);
+}
+
+TcpSender::~TcpSender() {
+  cancel_rto();
+  host_->unregister_agent(flow_);
+}
+
+std::uint64_t TcpSender::write(std::uint64_t bytes) {
+  if (bytes == 0) throw std::invalid_argument("TcpSender::write: zero bytes");
+  bytes_written_ += bytes;
+  const SeqNum first_seg = total_segments_;
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const auto seg = static_cast<std::uint32_t>(std::min<std::uint64_t>(remaining, cfg_.mss));
+    seg_bytes_.push_back(seg);
+    remaining -= seg;
+  }
+  total_segments_ = seg_bytes_.size();
+  message_segments_.push_back({first_seg, total_segments_ - 1});
+
+  const auto msg_id = stats_.begin_message(bytes, sim_->now());
+  pending_messages_.emplace_back(bytes_written_, msg_id);
+
+  if (!established_ && !syn_sent_) {
+    send_syn();
+  } else {
+    try_send();
+  }
+  return msg_id;
+}
+
+bool TcpSender::is_message_start(SeqNum seq) const {
+  const auto it = std::lower_bound(
+      message_segments_.begin(), message_segments_.end(), seq,
+      [](const SegmentRange& r, SeqNum s) { return r.first < s; });
+  return it != message_segments_.end() && it->first == seq;
+}
+
+bool TcpSender::is_message_end(SeqNum seq) const {
+  const auto it = std::lower_bound(
+      message_segments_.begin(), message_segments_.end(), seq,
+      [](const SegmentRange& r, SeqNum s) { return r.last < s; });
+  return it != message_segments_.end() && it->last == seq;
+}
+
+void TcpSender::send_syn() {
+  syn_sent_ = true;
+  net::Packet p;
+  p.dst = dst_;
+  p.flow = flow_;
+  p.syn = true;
+  p.ts = sim_->now();
+  host_->send(std::move(p));
+  if (!rto_timer_.valid()) arm_rto();
+}
+
+std::uint64_t TcpSender::window_segments() const {
+  return static_cast<std::uint64_t>(std::max(cwnd_, 1.0));
+}
+
+void TcpSender::try_send() {
+  if (!established_) return;  // data waits for the SYN-ACK
+  while (snd_next_ < total_segments_ && in_flight() < window_segments()) {
+    const bool retransmission = snd_next_ < max_seq_sent_;
+    if (!retransmission && !cc_allow_new_segment()) break;
+    send_segment(snd_next_, retransmission);
+    ++snd_next_;
+    max_seq_sent_ = std::max(max_seq_sent_, snd_next_);
+  }
+}
+
+void TcpSender::force_send_segment(SeqNum seq) {
+  assert(seq == snd_next_ && seq < total_segments_);
+  const bool retransmission = seq < max_seq_sent_;
+  send_segment(seq, retransmission);
+  ++snd_next_;
+  max_seq_sent_ = std::max(max_seq_sent_, snd_next_);
+}
+
+void TcpSender::send_segment(SeqNum seq, bool retransmission) {
+  net::Packet p;
+  p.dst = dst_;
+  p.flow = flow_;
+  p.is_ack = false;
+  p.seq = seq;
+  p.payload_bytes = seg_bytes_[seq];
+  p.ts = sim_->now();
+  if (cfg_.ecn_capable) p.ecn = net::EcnCodepoint::kEct;
+  cc_before_send(p);
+
+  ++stats_.data_packets_sent;
+  stats_.data_bytes_sent += p.payload_bytes;
+  if (retransmission) ++stats_.retransmitted_packets;
+
+  last_send_time_ = sim_->now();
+  const net::Packet snapshot = p;
+  host_->send(std::move(p));
+
+  if (!rto_timer_.valid()) arm_rto();
+  cc_after_send(snapshot, retransmission);
+}
+
+void TcpSender::send_redundant_copy(SeqNum seq) {
+  net::Packet p;
+  p.dst = dst_;
+  p.flow = flow_;
+  p.seq = seq;
+  p.payload_bytes = seg_bytes_[seq];
+  p.ts = sim_->now();
+  if (cfg_.ecn_capable) p.ecn = net::EcnCodepoint::kEct;
+  ++stats_.data_packets_sent;
+  stats_.data_bytes_sent += p.payload_bytes;
+  ++stats_.retransmitted_packets;
+  host_->send(std::move(p));
+}
+
+void TcpSender::arm_rto() {
+  cancel_rto();
+  auto rto = rtt_.rto(cfg_.min_rto, cfg_.max_rto);
+  for (int i = 0; i < rto_backoff_; ++i) {
+    rto = std::min(rto * 2, cfg_.max_rto);
+  }
+  rto_timer_ = sim_->schedule(rto, [this] { on_rto(); });
+}
+
+void TcpSender::cancel_rto() {
+  if (rto_timer_.valid()) {
+    sim_->cancel(rto_timer_);
+    rto_timer_ = sim::EventId{};
+  }
+}
+
+void TcpSender::on_rto() {
+  rto_timer_ = sim::EventId{};
+  if (!established_) {  // lost SYN or SYN-ACK: retry the handshake
+    ++stats_.timeouts;
+    ++rto_backoff_;
+    net::Packet p;
+    p.dst = dst_;
+    p.flow = flow_;
+    p.syn = true;
+    p.ts = sim_->now();
+    host_->send(std::move(p));
+    arm_rto();
+    return;
+  }
+  if (snd_una_ == total_segments_) return;  // nothing outstanding
+
+  ++stats_.timeouts;
+  TRIM_LOG(sim::LogLevel::kDebug, sim_, "flow %u: RTO (snd_una=%llu snd_next=%llu cwnd=%.1f)",
+           flow_, static_cast<unsigned long long>(snd_una_),
+           static_cast<unsigned long long>(snd_next_), cwnd_);
+
+  in_recovery_ = false;
+  dupacks_ = 0;
+  cc_on_timeout();
+
+  // Go-back-N: resume from the first unacked segment; the (now tiny)
+  // window throttles the refill, and cumulative ACKs from segments the
+  // receiver already holds fast-forward snd_una.
+  snd_next_ = snd_una_;
+  ++rto_backoff_;
+  arm_rto();
+  try_send();
+}
+
+void TcpSender::on_packet(const net::Packet& p) {
+  if (!p.is_ack) return;  // sender side only consumes ACKs
+
+  if (p.syn) {  // SYN-ACK completes the handshake
+    if (!established_) {
+      established_ = true;
+      rtt_.add_sample(sim_->now() - p.ts);
+      cancel_rto();
+      try_send();
+    }
+    return;
+  }
+
+  AckEvent ev;
+  ev.ack_seq = p.seq;
+  ev.ack_of_seq = p.ack_of_seq;
+  ev.rtt = sim_->now() - p.ts;
+  ev.ece = p.ece;
+  ev.is_dup = p.seq == snd_una_ && snd_next_ > snd_una_;
+  ev.newly_acked = p.seq > snd_una_ ? p.seq - snd_una_ : 0;
+
+  ++stats_.acked_segments;
+  if (ev.ece) ++stats_.ecn_marked_acks;
+
+  cc_on_every_ack(ev);
+
+  if (ev.newly_acked > 0) {
+    handle_new_ack(ev);
+  } else if (ev.is_dup) {
+    handle_dupack(ev);
+  }
+  // else: stale ACK below snd_una with nothing in flight — ignore.
+
+  if (cwnd_trace_ != nullptr) cwnd_trace_->record(sim_->now(), cwnd_);
+  try_send();
+}
+
+void TcpSender::handle_new_ack(const AckEvent& ev) {
+  rtt_.add_sample(ev.rtt);
+  rto_backoff_ = 0;
+
+  // Advance byte accounting over the newly acked segments.
+  for (SeqNum s = snd_una_; s < ev.ack_seq; ++s) {
+    acked_bytes_ += seg_bytes_[s];
+    stats_.goodput_bytes += seg_bytes_[s];
+  }
+  snd_una_ = ev.ack_seq;
+  // ACKs can arrive for data beyond a post-RTO go-back-N pointer.
+  snd_next_ = std::max(snd_next_, snd_una_);
+  dupacks_ = 0;
+
+  if (in_recovery_) {
+    if (snd_una_ >= recover_) {
+      // Full ACK: recovery complete, deflate to ssthresh.
+      in_recovery_ = false;
+      set_cwnd(ssthresh_);
+    } else {
+      // NewReno partial ACK: retransmit the next hole, deflate by the
+      // amount acked (plus one for the retransmission).
+      set_cwnd(std::max(cwnd_ - static_cast<double>(ev.newly_acked) + 1.0,
+                        cfg_.min_cwnd));
+      if (snd_next_ > snd_una_) {
+        // The hole is at snd_una_: resend it immediately.
+        send_segment(snd_una_, true);
+      }
+    }
+  } else {
+    cc_on_new_ack(ev);
+  }
+
+  check_message_completion();
+
+  if (snd_una_ == total_segments_ && snd_next_ == total_segments_) {
+    cancel_rto();  // everything delivered
+  } else {
+    arm_rto();  // restart for the oldest outstanding data
+  }
+}
+
+void TcpSender::handle_dupack(AckEvent&) {
+  ++dupacks_;
+  if (in_recovery_) {
+    // Window inflation keeps the pipe full while the hole is repaired.
+    set_cwnd(cwnd_ + 1.0);
+    return;
+  }
+  if (dupacks_ == cfg_.dupack_threshold) {
+    ++stats_.fast_retransmits;
+    cc_on_fast_retransmit();
+    in_recovery_ = true;
+    recover_ = snd_next_;
+    send_segment(snd_una_, true);
+    arm_rto();
+  }
+}
+
+void TcpSender::check_message_completion() {
+  while (!pending_messages_.empty() && acked_bytes_ >= pending_messages_.front().first) {
+    const auto msg_id = pending_messages_.front().second;
+    pending_messages_.pop_front();
+    stats_.complete_message(msg_id, sim_->now());
+    for (const auto& cb : on_message_) cb(msg_id, sim_->now());
+  }
+}
+
+// ---- default (Reno) congestion control ----
+
+void TcpSender::cc_on_every_ack(const AckEvent&) {}
+
+void TcpSender::reno_increase(std::uint64_t newly_acked) {
+  for (std::uint64_t i = 0; i < newly_acked; ++i) {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;  // slow start
+    } else {
+      cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+    }
+  }
+  set_cwnd(cwnd_);
+}
+
+void TcpSender::cc_on_new_ack(const AckEvent& ev) { reno_increase(ev.newly_acked); }
+
+void TcpSender::cc_on_fast_retransmit() {
+  ssthresh_ = std::max(static_cast<double>(in_flight()) / 2.0, 2.0);
+  set_cwnd(ssthresh_ + static_cast<double>(cfg_.dupack_threshold));
+}
+
+void TcpSender::cc_on_timeout() {
+  ssthresh_ = std::max(static_cast<double>(in_flight()) / 2.0, 2.0);
+  set_cwnd(cfg_.cwnd_after_rto);
+}
+
+void TcpSender::cc_before_send(net::Packet&) {}
+
+bool TcpSender::cc_allow_new_segment() { return true; }
+
+void TcpSender::cc_after_send(const net::Packet&, bool) {}
+
+double TcpSender::clamp_cwnd(double w) const { return std::max(w, cfg_.min_cwnd); }
+
+void TcpSender::set_cwnd(double w) {
+  cwnd_ = clamp_cwnd(w);
+  if (cwnd_trace_ != nullptr) cwnd_trace_->record(sim_->now(), cwnd_);
+}
+
+}  // namespace trim::tcp

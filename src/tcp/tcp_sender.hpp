@@ -1,0 +1,195 @@
+// TCP sender base class: reliability, window accounting, timers, and
+// application message tracking. Congestion control is factored into
+// `cc_*` hooks that the protocol variants (Reno, CUBIC, DCTCP, L2DCT,
+// TCP-TRIM) override.
+//
+// Loss recovery follows ns-2's Reno/NewReno agents, which is what the
+// paper simulates:
+//   - fast retransmit on the third duplicate ACK, NewReno partial-ACK
+//     retransmissions during recovery, window inflation on further dupacks;
+//   - RTO with exponential backoff; after an RTO the sender performs
+//     go-back-N (snd_next is pulled back to snd_una and the window governs
+//     how fast the hole is refilled).
+//
+// The application writes byte-counted messages (HTTP responses / packet
+// trains); the sender segments them at MSS granularity and reports message
+// completion when the last byte is cumulatively acked.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "stats/flow_stats.hpp"
+#include "stats/time_series.hpp"
+#include "tcp/rtt_estimator.hpp"
+#include "tcp/tcp_common.hpp"
+
+namespace trim::tcp {
+
+// Everything a congestion-control hook needs to know about one ACK.
+struct AckEvent {
+  SeqNum ack_seq = 0;        // cumulative (next expected segment)
+  SeqNum ack_of_seq = 0;     // segment that triggered this ACK
+  sim::SimTime rtt;          // per-ACK sample from the timestamp echo
+  bool ece = false;          // CE echo
+  bool is_dup = false;
+  std::uint64_t newly_acked = 0;  // segments (0 for dupacks)
+};
+
+class TcpSender : public net::Agent {
+ public:
+  TcpSender(net::Host* host, net::NodeId dst, net::FlowId flow, TcpConfig cfg);
+  ~TcpSender() override;
+
+  // ---- application interface ----
+  // Queue `bytes` for transmission as one message; returns the message id
+  // used in the completion callback. Transmission starts immediately
+  // (window permitting).
+  std::uint64_t write(std::uint64_t bytes);
+  using MessageCallback = std::function<void(std::uint64_t msg_id, sim::SimTime now)>;
+  // Multiple listeners are supported (an app and a pacing source may both
+  // subscribe); callbacks fire in registration order.
+  void add_message_complete_callback(MessageCallback cb) {
+    on_message_.push_back(std::move(cb));
+  }
+
+  bool idle() const { return snd_una_ == total_segments_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t bytes_acked() const { return acked_bytes_; }
+
+  // ---- introspection ----
+  double cwnd() const { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+  SeqNum snd_una() const { return snd_una_; }
+  SeqNum snd_next() const { return snd_next_; }
+  std::uint64_t in_flight() const { return snd_next_ - snd_una_; }
+  const RttEstimator& rtt() const { return rtt_; }
+  net::FlowId flow_id() const { return flow_; }
+  const TcpConfig& config() const { return cfg_; }
+  stats::FlowStats& stats() { return stats_; }
+  const stats::FlowStats& stats() const { return stats_; }
+
+  // Record (time, cwnd) on every window change — Figs. 4(b), 6(b).
+  void set_cwnd_trace(stats::TimeSeries* trace) { cwnd_trace_ = trace; }
+
+  // ---- net::Agent ----
+  void on_packet(const net::Packet& p) override;
+
+  virtual Protocol protocol() const = 0;
+
+ protected:
+  // ---- congestion-control hooks ----
+  // Called on every ACK (new or duplicate) before any other processing.
+  virtual void cc_on_every_ack(const AckEvent& ev);
+  // Window growth on a new cumulative ACK (not during fast recovery).
+  virtual void cc_on_new_ack(const AckEvent& ev);
+  // Window reduction entering fast recovery (3rd dupack). Must set
+  // ssthresh_ and cwnd_.
+  virtual void cc_on_fast_retransmit();
+  // Window reduction after an RTO fires. Must set ssthresh_ and cwnd_.
+  virtual void cc_on_timeout();
+  // Stamp outgoing data packets (ECT marking etc.).
+  virtual void cc_before_send(net::Packet& p);
+  // Gate for transmitting a *new* (never-sent) segment; TRIM uses this for
+  // inter-train probing and suspension. Retransmissions are never gated.
+  virtual bool cc_allow_new_segment();
+  // Called after every transmitted data packet (GIP duplicates the tail
+  // segment of each train here).
+  virtual void cc_after_send(const net::Packet& p, bool retransmission);
+
+  // Shared helpers for subclasses.
+  void reno_increase(std::uint64_t newly_acked);
+  double clamp_cwnd(double w) const;
+  void set_cwnd(double w);
+  void set_ssthresh(double w) { ssthresh_ = w; }
+  sim::Simulator* simulator() const { return sim_; }
+  sim::SimTime last_send_time() const { return last_send_time_; }
+  bool has_sent() const { return max_seq_sent_ > 0; }
+  SeqNum max_seq_sent() const { return max_seq_sent_; }
+  bool in_recovery() const { return in_recovery_; }
+  SeqNum total_segments() const { return total_segments_; }
+
+  // Transmit machinery (subclasses may need to kick it, e.g. when TRIM
+  // resumes from probe suspension).
+  void try_send();
+  // Send `seq` bypassing the window gate (used for probe packets).
+  void force_send_segment(SeqNum seq);
+  // Re-transmit a copy of an already-sent segment immediately (GIP's
+  // redundant tail packet); does not advance any pointer.
+  void send_redundant_copy(SeqNum seq);
+
+ public:
+  // Message boundaries in segment space: [first, last] segment index per
+  // application write, in write order.
+  struct SegmentRange {
+    SeqNum first;
+    SeqNum last;
+  };
+  const std::vector<SegmentRange>& message_segments() const {
+    return message_segments_;
+  }
+  // True when `seq` is the first/last segment of some message.
+  bool is_message_start(SeqNum seq) const;
+  bool is_message_end(SeqNum seq) const;
+
+  // Handshake state (only meaningful with cfg.simulate_handshake).
+  bool connection_established() const { return established_; }
+
+ protected:
+
+ private:
+  void send_segment(SeqNum seq, bool retransmission);
+  void send_syn();
+  void handle_new_ack(const AckEvent& ev);
+  void handle_dupack(AckEvent& ev);
+  void check_message_completion();
+  void arm_rto();
+  void cancel_rto();
+  void on_rto();
+  std::uint64_t window_segments() const;
+
+  net::Host* host_;
+  net::NodeId dst_;
+  net::FlowId flow_;
+  TcpConfig cfg_;
+  sim::Simulator* sim_;
+
+  // Segment store: byte size per segment index (grows as the app writes).
+  std::vector<std::uint32_t> seg_bytes_;
+  SeqNum total_segments_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::vector<SegmentRange> message_segments_;
+
+  bool established_ = true;  // false until SYN-ACK when handshake is on
+  bool syn_sent_ = false;
+
+  SeqNum snd_una_ = 0;
+  SeqNum snd_next_ = 0;
+  SeqNum max_seq_sent_ = 0;  // high-water mark of snd_next_
+  std::uint64_t acked_bytes_ = 0;
+
+  double cwnd_;
+  double ssthresh_;
+  int dupacks_ = 0;
+  bool in_recovery_ = false;
+  SeqNum recover_ = 0;
+
+  RttEstimator rtt_;
+  sim::EventId rto_timer_;
+  int rto_backoff_ = 0;
+  sim::SimTime last_send_time_;
+
+  // Message bookkeeping: (cumulative end-byte offset, stats message id).
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> pending_messages_;
+  std::vector<MessageCallback> on_message_;
+
+  stats::FlowStats stats_;
+  stats::TimeSeries* cwnd_trace_ = nullptr;
+};
+
+}  // namespace trim::tcp

@@ -1,0 +1,40 @@
+#include "topo/many_to_one.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace trim::topo {
+
+ManyToOne build_many_to_one(net::Network& network, const ManyToOneConfig& cfg) {
+  if (cfg.num_servers < 1) throw std::invalid_argument("build_many_to_one: no servers");
+
+  ManyToOne topo;
+  topo.sw = network.add_switch("sw0");
+  topo.front_end = network.add_host("frontend");
+
+  const net::QueueConfig switch_q =
+      cfg.switch_queue.value_or(net::QueueConfig::droptail_packets(cfg.switch_buffer_pkts));
+  const net::QueueConfig host_q{};  // hosts: unlimited NIC queue (drops live in the fabric)
+
+  const std::uint64_t server_bps = cfg.server_link_bps.value_or(cfg.link_bps);
+
+  // Switch egress toward the front-end carries the aggregated responses:
+  // this is the queue the paper instruments.
+  const net::LinkSpec to_frontend{cfg.link_bps, cfg.link_delay, switch_q};
+  const net::LinkSpec from_frontend{cfg.link_bps, cfg.link_delay, host_q};
+  const auto fe = network.connect(*topo.sw, *topo.front_end, to_frontend, from_frontend);
+  topo.bottleneck = fe.a_to_b;
+
+  for (int i = 0; i < cfg.num_servers; ++i) {
+    auto* server = network.add_host("server" + std::to_string(i));
+    const net::LinkSpec uplink{server_bps, cfg.link_delay, host_q};
+    const net::LinkSpec downlink{server_bps, cfg.link_delay, switch_q};
+    network.connect(*server, *topo.sw, uplink, downlink);
+    topo.servers.push_back(server);
+  }
+
+  network.build_routes();
+  return topo;
+}
+
+}  // namespace trim::topo

@@ -1,0 +1,37 @@
+// Many-to-one (partition/aggregation) star: N web servers -> one switch ->
+// one front-end server. This is the paper's workhorse scenario (Sec. II-B,
+// Figs. 4-7, 9) and, with per-sender link-rate overrides, its
+// fairness/convergence setup (Fig. 10).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace trim::topo {
+
+struct ManyToOneConfig {
+  int num_servers = 5;
+  std::uint64_t link_bps = net::kGbps;       // server<->switch and switch<->front-end
+  sim::SimTime link_delay = sim::SimTime::micros(50);
+  std::uint32_t switch_buffer_pkts = 100;    // paper: "switch with 100 packets buffer"
+  // Optional full override of the switch egress queues (e.g. ECN for
+  // DCTCP); when unset, plain droptail with `switch_buffer_pkts`.
+  std::optional<net::QueueConfig> switch_queue;
+  // Optional distinct rate for the server->switch links (the convergence
+  // test uses 1.1 Gbps senders into a 1 Gbps bottleneck).
+  std::optional<std::uint64_t> server_link_bps;
+};
+
+struct ManyToOne {
+  std::vector<net::Host*> servers;
+  net::Host* front_end = nullptr;
+  net::Switch* sw = nullptr;
+  // Switch egress link toward the front-end: the bottleneck under test.
+  net::Link* bottleneck = nullptr;
+};
+
+ManyToOne build_many_to_one(net::Network& network, const ManyToOneConfig& cfg);
+
+}  // namespace trim::topo

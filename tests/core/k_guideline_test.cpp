@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/k_guideline.hpp"
+
+namespace trim::core {
+namespace {
+
+using sim::SimTime;
+
+// The paper's reference scenario: 1 Gbps bottleneck, MSS 1460 (+40 header),
+// base RTT 100 us.
+constexpr double kCPps = 1e9 / (1500.0 * 8.0);  // ~83333 pkt/s
+const SimTime kD = SimTime::micros(100);
+
+TEST(PacketsPerSecond, MatchesHandComputation) {
+  EXPECT_NEAR(packets_per_second(1'000'000'000, 1460), kCPps, 1.0);
+  EXPECT_NEAR(packets_per_second(10'000'000'000ull, 1460), 10 * kCPps, 10.0);
+  EXPECT_THROW(packets_per_second(0, 1460), std::invalid_argument);
+  EXPECT_THROW(packets_per_second(1'000'000'000, 0), std::invalid_argument);
+}
+
+TEST(FOfN, MatchesEquation17) {
+  // F(N) = 2ND/(N+1) - N/C.
+  const double d = kD.to_seconds();
+  const double n = 3.0;
+  EXPECT_NEAR(f_of_n(n, d, kCPps), 2 * n * d / (n + 1) - n / kCPps, 1e-15);
+  EXPECT_THROW(f_of_n(0.0, d, kCPps), std::invalid_argument);
+}
+
+TEST(StationaryN, IsTheRootOfEquation19) {
+  const double d = kD.to_seconds();
+  const double n_star = stationary_n(d, kCPps);
+  ASSERT_GT(n_star, 0.0);
+  // Eq. 19: N^2/C + 2N/C + 1/C - 2D = 0.
+  const double residual =
+      n_star * n_star / kCPps + 2 * n_star / kCPps + 1 / kCPps - 2 * d;
+  EXPECT_NEAR(residual, 0.0, 1e-12);
+}
+
+TEST(StationaryN, IsTheMaximumOfF) {
+  const double d = kD.to_seconds();
+  const double n_star = stationary_n(d, kCPps);
+  const double f_star = f_of_n(n_star, d, kCPps);
+  // F is smaller a bit to each side (interior maximum, Eq. 20: F'' < 0).
+  EXPECT_GT(f_star, f_of_n(n_star * 0.8, d, kCPps));
+  EXPECT_GT(f_star, f_of_n(n_star * 1.2, d, kCPps));
+  // And matches the closed form of Eq. 21.
+  EXPECT_NEAR(f_star, f_max(d, kCPps), 1e-12);
+}
+
+TEST(FMax, NumericallyDominatesFSweep) {
+  const double d = kD.to_seconds();
+  const double bound = f_max(d, kCPps);
+  for (double n = 0.5; n < 200.0; n += 0.5) {
+    EXPECT_LE(f_of_n(n, d, kCPps), bound + 1e-12) << "N=" << n;
+  }
+}
+
+TEST(RecommendedK, IsAtLeastBaseRttAndFmax) {
+  const auto k = recommended_k(kD, kCPps);
+  EXPECT_GE(k, kD);
+  // 1 ns slack: SimTime::seconds truncates to integer nanoseconds.
+  EXPECT_GE(k.to_seconds(), f_max(kD.to_seconds(), kCPps) - 1e-9);
+}
+
+TEST(RecommendedK, FallsBackToDWhenCapacityTiny) {
+  // 2CD <= 1: F has no interior max, K = D.
+  const auto k = recommended_k(SimTime::micros(1), 1000.0);
+  EXPECT_EQ(k, SimTime::micros(1));
+  EXPECT_THROW(recommended_k(kD, 0.0), std::invalid_argument);
+}
+
+TEST(RecommendedK, GrowsWithBaseRtt) {
+  EXPECT_LT(recommended_k(SimTime::micros(50), kCPps),
+            recommended_k(SimTime::micros(500), kCPps));
+}
+
+TEST(QueueFormulas, Equations4And7) {
+  const auto k = SimTime::micros(150);
+  // Q = C(K - D) (Eq. 4).
+  EXPECT_NEAR(desired_queue_packets(kCPps, k, kD), kCPps * 50e-6, 1e-9);
+  // Qmax = Q + N (Eq. 7).
+  EXPECT_NEAR(max_queue_packets(kCPps, k, kD, 8),
+              desired_queue_packets(kCPps, k, kD) + 8.0, 1e-9);
+}
+
+TEST(RecommendedK, ReferenceScenarioIsReasonable) {
+  // At 1 Gbps / 100 us: K should allow a small standing queue (a few to a
+  // few dozen packets), not zero and not the whole buffer.
+  const auto k = recommended_k(kD, kCPps);
+  const double q = desired_queue_packets(kCPps, k, kD);
+  EXPECT_GT(q, 0.5);
+  EXPECT_LT(q, 50.0);
+}
+
+}  // namespace
+}  // namespace trim::core

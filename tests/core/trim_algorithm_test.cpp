@@ -1,0 +1,107 @@
+// Direct conformance tests for TCP-TRIM's Algorithm 2 arithmetic: ACKs
+// with hand-crafted timestamp echoes give exact control over the RTT the
+// sender observes, so Eq. 2/3 and the smooth-RTT EWMA can be checked to
+// the digit (the network-level behavior tests live in trim_sender_test).
+#include <gtest/gtest.h>
+
+#include "core/trim_sender.hpp"
+#include "../tcp/tcp_test_util.hpp"
+
+namespace trim::core {
+namespace {
+
+using test::HostPair;
+
+struct Harness {
+  explicit Harness(double initial_cwnd, sim::SimTime k_override) : net{} {
+    tcp::TcpConfig cfg;
+    cfg.initial_cwnd = initial_cwnd;
+    TrimConfig trim;
+    trim.k_override = k_override;
+    trim.probe_on_gap = false;  // isolate the queue-control path
+    sender = std::make_unique<TrimSender>(&net.a, net.b.id(), 1, cfg, trim);
+    sender->write(100'000'000);  // plenty of segments to ack
+  }
+
+  // Deliver an ACK whose observed RTT is exactly `rtt`.
+  void ack_with_rtt(sim::SimTime rtt) {
+    net::Packet ack;
+    ack.is_ack = true;
+    ack.flow = 1;
+    ack.seq = next_ack_++;
+    ack.ack_of_seq = next_ack_ - 2;
+    ack.ts = net.sim.now() - rtt;  // timestamp echo places the send time
+    sender->on_packet(ack);
+  }
+
+  HostPair net;
+  std::unique_ptr<TrimSender> sender;
+  tcp::SeqNum next_ack_ = 1;
+};
+
+TEST(TrimAlgorithm2, SmoothRttEwmaUsesAlphaQuarter) {
+  Harness h{30.0, sim::SimTime::millis(10)};  // K huge: no cuts interfere
+  h.ack_with_rtt(sim::SimTime::micros(400));
+  EXPECT_EQ(h.sender->smooth_rtt(), sim::SimTime::micros(400));  // first sample
+  h.ack_with_rtt(sim::SimTime::micros(800));
+  // (1-0.25)*400 + 0.25*800 = 500.
+  EXPECT_NEAR(h.sender->smooth_rtt().to_micros(), 500.0, 0.5);
+  h.ack_with_rtt(sim::SimTime::micros(100));
+  // 0.75*500 + 0.25*100 = 400.
+  EXPECT_NEAR(h.sender->smooth_rtt().to_micros(), 400.0, 0.5);
+}
+
+TEST(TrimAlgorithm2, MinRttTracksSmallestSample) {
+  Harness h{30.0, sim::SimTime::millis(10)};
+  h.ack_with_rtt(sim::SimTime::micros(300));
+  h.ack_with_rtt(sim::SimTime::micros(120));
+  h.ack_with_rtt(sim::SimTime::micros(500));
+  EXPECT_EQ(h.sender->min_rtt(), sim::SimTime::micros(120));
+}
+
+TEST(TrimAlgorithm2, Equation3CutIsExact) {
+  // K = 200 us; an ACK with RTT 300 us gives ep = (300-200)/300 = 1/3
+  // (Eq. 2) and cwnd *= (1 - ep/2) = 5/6 (Eq. 3).
+  Harness h{30.0, sim::SimTime::micros(200)};
+  const double before = h.sender->cwnd();
+  h.ack_with_rtt(sim::SimTime::micros(300));
+  // The cut applies before the Reno growth of the same ACK (+1 in slow
+  // start after ssthresh was pinned to the cut value -> CA: +1/cwnd).
+  const double cut = before * (1.0 - (1.0 / 3.0) / 2.0);
+  EXPECT_NEAR(h.sender->cwnd(), cut + 1.0 / cut, 1e-6);
+  EXPECT_EQ(h.sender->stats().delay_backoffs, 1u);
+}
+
+TEST(TrimAlgorithm2, OneCutPerWindowOfData) {
+  Harness h{30.0, sim::SimTime::micros(200)};
+  h.ack_with_rtt(sim::SimTime::micros(400));  // cut #1
+  const auto after_first = h.sender->stats().delay_backoffs;
+  EXPECT_EQ(after_first, 1u);
+  // More congested ACKs inside the same window of data: no further cuts
+  // until the ack counter passes the snd_next recorded at the cut.
+  h.ack_with_rtt(sim::SimTime::micros(400));
+  h.ack_with_rtt(sim::SimTime::micros(400));
+  EXPECT_EQ(h.sender->stats().delay_backoffs, 1u);
+  // Push the cumulative ack beyond that window boundary: next cut allowed.
+  for (int i = 0; i < 64; ++i) h.ack_with_rtt(sim::SimTime::micros(150));
+  h.ack_with_rtt(sim::SimTime::micros(400));
+  EXPECT_GE(h.sender->stats().delay_backoffs, 2u);
+}
+
+TEST(TrimAlgorithm2, NoCutBelowThreshold) {
+  Harness h{30.0, sim::SimTime::micros(200)};
+  for (int i = 0; i < 50; ++i) h.ack_with_rtt(sim::SimTime::micros(199));
+  EXPECT_EQ(h.sender->stats().delay_backoffs, 0u);
+  EXPECT_GT(h.sender->cwnd(), 30.0);  // pure growth
+}
+
+TEST(TrimAlgorithm2, WindowFloorIsTwoUnderExtremeRtt) {
+  // RTT >> K: ep -> 1, cut factor -> 1/2 per window, floored at 2.
+  Harness h{4.0, sim::SimTime::micros(100)};
+  for (int i = 0; i < 200; ++i) h.ack_with_rtt(sim::SimTime::millis(50));
+  EXPECT_GE(h.sender->cwnd(), 2.0);
+  EXPECT_LE(h.sender->cwnd(), 5.0);  // CA growth between per-window cuts
+}
+
+}  // namespace
+}  // namespace trim::core

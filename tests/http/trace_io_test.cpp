@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "http/trace_io.hpp"
+
+namespace trim::http {
+namespace {
+
+std::vector<TrainRecord> synthetic_trains(int n) {
+  std::vector<TrainRecord> trains;
+  sim::SimTime t = sim::SimTime::millis(1);
+  for (int i = 0; i < n; ++i) {
+    TrainRecord rec;
+    rec.first_packet = t;
+    rec.last_packet = t + sim::SimTime::micros(50 + i);
+    rec.bytes = 4096 + static_cast<std::uint64_t>(i) * 3000;
+    rec.packets = static_cast<std::uint32_t>(1 + i);
+    trains.push_back(rec);
+    t = rec.last_packet + sim::SimTime::micros(200 + 10 * i);
+  }
+  return trains;
+}
+
+TEST(TraceIo, RoundTripPreservesDistributionRange) {
+  const auto trains = synthetic_trains(50);
+  const std::string path = ::testing::TempDir() + "/trains_test.csv";
+  write_train_trace(path, trains);
+
+  auto workload = load_train_workload(path, sim::Rng{3});
+  for (int i = 0; i < 2000; ++i) {
+    const auto bytes = workload.sample_train_bytes();
+    EXPECT_GE(bytes, 4096u);
+    EXPECT_LE(bytes, 4096u + 49u * 3000u + 1);
+    const auto gap = workload.sample_gap();
+    EXPECT_GE(gap, sim::SimTime::micros(199));
+    EXPECT_LE(gap, sim::SimTime::micros(692));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, FileFormatIsStable) {
+  const auto trains = synthetic_trains(3);
+  const std::string path = ::testing::TempDir() + "/trains_fmt.csv";
+  write_train_trace(path, trains);
+  std::ifstream in{path};
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "train_bytes,gap_us");
+  std::getline(in, line);
+  EXPECT_EQ(line.substr(0, 5), "4096,");  // first train, gap 0
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMissingAndShortFiles) {
+  EXPECT_THROW(load_train_workload("/no/such/file.csv", sim::Rng{1}),
+               std::runtime_error);
+  const std::string path = ::testing::TempDir() + "/trains_short.csv";
+  write_train_trace(path, synthetic_trains(2));
+  EXPECT_THROW(load_train_workload(path, sim::Rng{1}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MalformedLineThrows) {
+  const std::string path = ::testing::TempDir() + "/trains_bad.csv";
+  {
+    std::ofstream out{path};
+    out << "train_bytes,gap_us\nnot-a-number\n";
+  }
+  EXPECT_THROW(load_train_workload(path, sim::Rng{1}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(EmpiricalFromSamples, QuantilesTrackSampleQuantiles) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 1000; ++i) samples.push_back(i);
+  const auto cdf = sim::EmpiricalCdf::from_samples(samples, 21);
+  EXPECT_NEAR(cdf.quantile(0.5), 500.0, 30.0);
+  EXPECT_NEAR(cdf.quantile(0.95), 950.0, 30.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_THROW(sim::EmpiricalCdf::from_samples({1.0}, 5), std::invalid_argument);
+}
+
+TEST(EmpiricalFromSamples, HandlesConstantSamples) {
+  // All-equal samples: anchors are nudged apart; sampling returns ~value.
+  std::vector<double> samples(100, 42.0);
+  const auto cdf = sim::EmpiricalCdf::from_samples(samples, 9);
+  sim::Rng rng{4};
+  for (int i = 0; i < 100; ++i) EXPECT_NEAR(cdf.sample(rng), 42.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace trim::http

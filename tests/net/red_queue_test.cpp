@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "net/red_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace trim::net {
+namespace {
+
+Packet pkt(EcnCodepoint ecn = EcnCodepoint::kNotEct) {
+  Packet p;
+  p.payload_bytes = 1460;
+  p.ecn = ecn;
+  return p;
+}
+
+TEST(RedQueue, NoEarlyDropsBelowMinThreshold) {
+  sim::Simulator sim;
+  RedConfig cfg;
+  cfg.min_th = 20;
+  RedQueue q{cfg, &sim};
+  // Keep instantaneous occupancy low: enqueue/dequeue pairs.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.enqueue(pkt()));
+    q.dequeue();
+  }
+  EXPECT_EQ(q.early_drops(), 0u);
+  EXPECT_LT(q.avg_queue(), 20.0);
+}
+
+TEST(RedQueue, EarlyDropsBetweenThresholds) {
+  sim::Simulator sim;
+  RedConfig cfg;
+  cfg.min_th = 5;
+  cfg.max_th = 15;
+  cfg.max_p = 0.5;
+  cfg.weight = 0.5;  // fast EWMA so the test converges quickly
+  RedQueue q{cfg, &sim};
+  // Hold occupancy around 10: drops should appear but not be total.
+  int accepted = 0, offered = 0;
+  for (int i = 0; i < 10; ++i) q.enqueue(pkt());
+  for (int i = 0; i < 500; ++i) {
+    q.dequeue();
+    ++offered;
+    if (q.enqueue(pkt())) ++accepted;
+  }
+  EXPECT_GT(q.early_drops(), 0u);
+  EXPECT_GT(accepted, offered / 2);  // probabilistic, not a brick wall
+}
+
+TEST(RedQueue, AboveMaxThresholdDropsEverything) {
+  sim::Simulator sim;
+  RedConfig cfg;
+  cfg.min_th = 2;
+  cfg.max_th = 5;
+  cfg.weight = 1.0;  // avg == instantaneous
+  cfg.capacity_packets = 100;
+  RedQueue q{cfg, &sim};
+  for (int i = 0; i < 20; ++i) q.enqueue(pkt());
+  // avg >= max_th after the first few: all subsequent arrivals dropped.
+  EXPECT_LE(q.len_packets(), 6u);
+  EXPECT_GT(q.early_drops(), 10u);
+}
+
+TEST(RedQueue, HardCapacityStillEnforced) {
+  sim::Simulator sim;
+  RedConfig cfg;
+  cfg.capacity_packets = 10;
+  cfg.min_th = 50;  // RED never fires; only the droptail backstop
+  cfg.max_th = 60;
+  RedQueue q{cfg, &sim};
+  for (int i = 0; i < 20; ++i) q.enqueue(pkt());
+  EXPECT_EQ(q.len_packets(), 10u);
+  EXPECT_EQ(q.forced_drops(), 10u);
+}
+
+TEST(RedQueue, EcnModeMarksInsteadOfDropping) {
+  sim::Simulator sim;
+  RedConfig cfg;
+  cfg.min_th = 2;
+  cfg.max_th = 5;
+  cfg.weight = 1.0;
+  cfg.mark_instead_of_drop = true;
+  RedQueue q{cfg, &sim};
+  for (int i = 0; i < 20; ++i) q.enqueue(pkt(EcnCodepoint::kEct));
+  EXPECT_EQ(q.early_drops(), 0u);
+  EXPECT_GT(q.stats().marked_ce, 0u);
+  int marked = 0;
+  while (auto p = q.dequeue()) {
+    if (p->ecn == EcnCodepoint::kCe) ++marked;
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(marked), q.stats().marked_ce);
+}
+
+TEST(RedQueue, EcnModeDropsNonEctPackets) {
+  sim::Simulator sim;
+  RedConfig cfg;
+  cfg.min_th = 2;
+  cfg.max_th = 5;
+  cfg.weight = 1.0;
+  cfg.mark_instead_of_drop = true;
+  RedQueue q{cfg, &sim};
+  for (int i = 0; i < 20; ++i) q.enqueue(pkt(EcnCodepoint::kNotEct));
+  EXPECT_GT(q.early_drops(), 0u);
+  EXPECT_EQ(q.stats().marked_ce, 0u);
+}
+
+TEST(RedQueue, IdleCorrectionDecaysAverage) {
+  sim::Simulator sim;
+  RedConfig cfg;
+  cfg.weight = 0.5;
+  RedQueue q{cfg, &sim};
+  for (int i = 0; i < 30; ++i) q.enqueue(pkt());
+  while (q.dequeue().has_value()) {
+  }
+  const double avg_busy = q.avg_queue();
+  ASSERT_GT(avg_busy, 1.0);
+  // A long idle period then a fresh arrival: the average must have decayed.
+  sim.schedule(sim::SimTime::millis(10), [&] { q.enqueue(pkt()); });
+  sim.run();
+  EXPECT_LT(q.avg_queue(), avg_busy / 2.0);
+}
+
+TEST(RedQueue, RejectsInvalidParameters) {
+  sim::Simulator sim;
+  RedConfig bad;
+  bad.min_th = 60;
+  bad.max_th = 20;
+  EXPECT_THROW(RedQueue(bad, &sim), std::invalid_argument);
+  RedConfig bad_p;
+  bad_p.max_p = 0.0;
+  EXPECT_THROW(RedQueue(bad_p, &sim), std::invalid_argument);
+  EXPECT_THROW(RedQueue(RedConfig{}, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trim::net

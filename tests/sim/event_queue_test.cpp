@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace trim::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(SimTime::micros(30), [&] { order.push_back(3); });
+  q.push(SimTime::micros(10), [&] { order.push_back(1); });
+  q.push(SimTime::micros(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesDispatchInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(SimTime::micros(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().cb();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelledEventsNeverFire) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.push(SimTime::micros(1), [&] { ++fired; });
+  q.push(SimTime::micros(2), [&] { ++fired; });
+  q.cancel(id);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelHeadThenNextTimeSkipsIt) {
+  EventQueue q;
+  const auto id = q.push(SimTime::micros(1), [] {});
+  q.push(SimTime::micros(7), [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), SimTime::micros(7));
+}
+
+TEST(EventQueue, SizeExcludesCancelled) {
+  EventQueue q;
+  const auto a = q.push(SimTime::micros(1), [] {});
+  q.push(SimTime::micros(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndInvalidIdIsIgnored) {
+  EventQueue q;
+  const auto id = q.push(SimTime::micros(1), [] {});
+  q.cancel(id);
+  q.cancel(id);
+  q.cancel(EventId{});  // invalid
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.push(SimTime::micros(1), [] {});
+  q.push(SimTime::micros(2), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopReturnsTimestamp) {
+  EventQueue q;
+  q.push(SimTime::micros(42), [] {});
+  EXPECT_EQ(q.pop().at, SimTime::micros(42));
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  // Pseudo-random times; dispatch must still be monotone.
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    q.push(SimTime::nanos(static_cast<std::int64_t>(x % 1'000'000)), [] {});
+  }
+  SimTime prev = SimTime::zero();
+  while (!q.empty()) {
+    const auto at = q.pop().at;
+    EXPECT_GE(at, prev);
+    prev = at;
+  }
+}
+
+}  // namespace
+}  // namespace trim::sim

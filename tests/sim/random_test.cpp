@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace trim::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(3.0, 5.0);
+    EXPECT_GE(x, 3.0);
+    EXPECT_LT(x, 5.0);
+    const auto n = rng.uniform_int(-2, 2);
+    EXPECT_GE(n, -2);
+    EXPECT_LE(n, 2);
+  }
+}
+
+TEST(Rng, ExponentialMeanIsApproximatelyRight) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(Rng, TimeHelpersProduceTimesInRange) {
+  Rng rng{13};
+  for (int i = 0; i < 100; ++i) {
+    const auto t = rng.uniform_time(SimTime::micros(10), SimTime::micros(20));
+    EXPECT_GE(t, SimTime::micros(10));
+    EXPECT_LE(t, SimTime::micros(20));
+    EXPECT_GE(rng.exponential_time(SimTime::millis(1)), SimTime::zero());
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a{99};
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(EmpiricalCdf, QuantileHitsAnchorsExactly) {
+  EmpiricalCdf cdf{{{1.0, 0.0}, {10.0, 0.5}, {100.0, 1.0}},
+                   EmpiricalCdf::Interp::kLogValue};
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+}
+
+TEST(EmpiricalCdf, LogInterpolationIsGeometric) {
+  EmpiricalCdf cdf{{{1.0, 0.0}, {100.0, 1.0}}, EmpiricalCdf::Interp::kLogValue};
+  EXPECT_NEAR(cdf.quantile(0.5), 10.0, 1e-9);
+}
+
+TEST(EmpiricalCdf, LinearInterpolationIsArithmetic) {
+  EmpiricalCdf cdf{{{0.0, 0.0}, {100.0, 1.0}}, EmpiricalCdf::Interp::kLinear};
+  EXPECT_NEAR(cdf.quantile(0.25), 25.0, 1e-9);
+}
+
+TEST(EmpiricalCdf, SamplesStayInSupportAndMatchMassAllocation) {
+  EmpiricalCdf cdf{{{512.0, 0.0}, {4096.0, 0.2}, {131072.0, 0.9}, {262144.0, 1.0}},
+                   EmpiricalCdf::Interp::kLogValue};
+  Rng rng{5};
+  int leq_4k = 0, gt_128k = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = cdf.sample(rng);
+    EXPECT_GE(x, 512.0);
+    EXPECT_LE(x, 262144.0);
+    if (x <= 4096.0) ++leq_4k;
+    if (x > 131072.0) ++gt_128k;
+  }
+  EXPECT_NEAR(leq_4k / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(gt_128k / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(EmpiricalCdf, RejectsBadAnchors) {
+  using Anchors = std::vector<EmpiricalCdf::Anchor>;
+  EXPECT_THROW((EmpiricalCdf{Anchors{{1.0, 1.0}}, EmpiricalCdf::Interp::kLinear}),
+               std::invalid_argument);
+  EXPECT_THROW((EmpiricalCdf{Anchors{{1.0, 0.5}, {2.0, 0.4}},
+                             EmpiricalCdf::Interp::kLinear}),
+               std::invalid_argument);
+  EXPECT_THROW((EmpiricalCdf{Anchors{{1.0, 0.0}, {2.0, 0.9}},
+                             EmpiricalCdf::Interp::kLinear}),
+               std::invalid_argument);
+  EXPECT_THROW((EmpiricalCdf{Anchors{{-1.0, 0.0}, {2.0, 1.0}},
+                             EmpiricalCdf::Interp::kLogValue}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trim::sim

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace trim::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule(SimTime::millis(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::millis(5));
+  EXPECT_EQ(sim.now(), SimTime::millis(5));
+}
+
+TEST(Simulator, ScheduleIsRelativeToNow) {
+  Simulator sim;
+  SimTime inner;
+  sim.schedule(SimTime::millis(1), [&] {
+    sim.schedule(SimTime::millis(2), [&] { inner = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner, SimTime::millis(3));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::millis(10), [&] { ++fired; });
+  sim.schedule_at(SimTime::millis(20), [&] { ++fired; });
+  sim.run_until(SimTime::millis(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::millis(10));
+  sim.run_until(SimTime::millis(30));
+  EXPECT_EQ(fired, 2);
+  // Clock advances to the until-time even when the queue drains first.
+  EXPECT_EQ(sim.now(), SimTime::millis(30));
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  SimTime seen = SimTime::max();
+  sim.schedule_at(SimTime::millis(5), [&] {
+    sim.schedule(SimTime::zero() - SimTime::millis(1), [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::millis(5));
+}
+
+TEST(Simulator, ScheduleAtInThePastRunsNow) {
+  Simulator sim;
+  SimTime seen = SimTime::max();
+  sim.schedule_at(SimTime::millis(5), [&] {
+    sim.schedule_at(SimTime::millis(1), [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::millis(5));
+}
+
+TEST(Simulator, CancelPreventsDispatch) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.schedule(SimTime::millis(1), [&] { ++fired; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CountsDispatchedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(SimTime::millis(i), [] {});
+  EXPECT_EQ(sim.run(), 7u);
+  EXPECT_EQ(sim.events_dispatched(), 7u);
+}
+
+TEST(Simulator, ResetClearsPendingAndClock) {
+  Simulator sim;
+  sim.schedule(SimTime::millis(1), [] {});
+  sim.run_until(SimTime::millis(2));
+  sim.schedule(SimTime::millis(5), [] {});
+  sim.reset();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.now(), SimTime::zero());
+}
+
+TEST(Simulator, EventChainTerminates) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) sim.schedule(SimTime::micros(1), tick);
+  };
+  sim.schedule(SimTime::micros(1), tick);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.now(), SimTime::micros(100));
+}
+
+}  // namespace
+}  // namespace trim::sim

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace trim::sim {
+namespace {
+
+TEST(SimTime, NamedConstructorsAgree) {
+  EXPECT_EQ(SimTime::micros(1), SimTime::nanos(1000));
+  EXPECT_EQ(SimTime::millis(1), SimTime::micros(1000));
+  EXPECT_EQ(SimTime::seconds(1.0), SimTime::millis(1000));
+  EXPECT_EQ(SimTime::zero().ns(), 0);
+}
+
+TEST(SimTime, ConversionsRoundTrip) {
+  const auto t = SimTime::micros(1234);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 0.001234);
+  EXPECT_DOUBLE_EQ(t.to_millis(), 1.234);
+  EXPECT_DOUBLE_EQ(t.to_micros(), 1234.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const auto a = SimTime::millis(3);
+  const auto b = SimTime::millis(1);
+  EXPECT_EQ(a + b, SimTime::millis(4));
+  EXPECT_EQ(a - b, SimTime::millis(2));
+  EXPECT_EQ(a * 3, SimTime::millis(9));
+  EXPECT_EQ(3 * a, SimTime::millis(9));
+  EXPECT_EQ(a / 3, SimTime::millis(1));
+  auto c = a;
+  c += b;
+  EXPECT_EQ(c, SimTime::millis(4));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(SimTime, ComparisonIsTotal) {
+  EXPECT_LT(SimTime::micros(1), SimTime::micros(2));
+  EXPECT_LE(SimTime::micros(2), SimTime::micros(2));
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1e6));
+}
+
+TEST(SimTime, ScaledAppliesFraction) {
+  EXPECT_EQ(SimTime::micros(100).scaled(0.25), SimTime::micros(25));
+  EXPECT_EQ(SimTime::micros(100).scaled(0.0), SimTime::zero());
+}
+
+TEST(TransmissionTime, MatchesHandComputedValues) {
+  // 1500 bytes at 1 Gbps = 12 us.
+  EXPECT_EQ(transmission_time(1500, 1'000'000'000), SimTime::micros(12));
+  // 1500 bytes at 10 Gbps = 1.2 us.
+  EXPECT_EQ(transmission_time(1500, 10'000'000'000ull), SimTime::nanos(1200));
+  // 100 Mbps: 1500 bytes = 120 us.
+  EXPECT_EQ(transmission_time(1500, 100'000'000), SimTime::micros(120));
+}
+
+TEST(TransmissionTime, NoOverflowForLargePayloads) {
+  // 4 GB at 100 Gbps — would overflow naive 64-bit math in bits*1e9.
+  const auto t = transmission_time(4'000'000'000ull, 100'000'000'000ull);
+  EXPECT_NEAR(t.to_seconds(), 0.32, 1e-9);
+}
+
+TEST(SimTime, ToStringFormatsSeconds) {
+  EXPECT_EQ(SimTime::millis(1500).to_string(), "1.500000000s");
+}
+
+}  // namespace
+}  // namespace trim::sim

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "tcp/d2tcp.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp_test_util.hpp"
+
+namespace trim::tcp {
+namespace {
+
+using test::HostPair;
+
+TEST(D2tcp, NoDeadlineBehavesExactlyLikeDctcp) {
+  HostPair net{1'000'000'000, sim::SimTime::micros(50),
+               net::QueueConfig::ecn_packets(100, 20)};
+  TcpReceiver recv{&net.b, 1, net.a.id()};
+  D2tcpSender sender{&net.a, net.b.id(), 1, TcpConfig{}};
+  EXPECT_DOUBLE_EQ(sender.urgency(), 1.0);
+  sender.write(2000 * 1460);
+  net.sim.run();
+  EXPECT_TRUE(sender.idle());
+  EXPECT_EQ(net.data_queue->stats().dropped, 0u);
+  EXPECT_DOUBLE_EQ(sender.urgency(), 1.0);
+  EXPECT_EQ(sender.protocol(), Protocol::kD2tcp);
+}
+
+TEST(D2tcp, UrgencyRisesAsDeadlineApproaches) {
+  HostPair net;
+  TcpReceiver recv{&net.b, 1, net.a.id()};
+  D2tcpSender sender{&net.a, net.b.id(), 1, TcpConfig{}};
+  sender.write(1000 * 1460);
+  // Prime the RTT estimator and leave data outstanding.
+  net.sim.run_until(sim::SimTime::millis(1));
+  ASSERT_FALSE(sender.idle());
+
+  sender.set_deadline(net.sim.now() + sim::SimTime::seconds(100.0));  // far
+  const double far = sender.urgency();
+  sender.set_deadline(net.sim.now() + sim::SimTime::millis(1));  // imminent
+  const double near = sender.urgency();
+  EXPECT_LT(far, near);
+  EXPECT_GE(near, far);
+  // Past deadline: maximum urgency.
+  sender.set_deadline(net.sim.now() - sim::SimTime::millis(1));
+  EXPECT_DOUBLE_EQ(sender.urgency(), 2.0);  // d_max default
+  sender.clear_deadline();
+  EXPECT_DOUBLE_EQ(sender.urgency(), 1.0);
+  net.sim.run();
+}
+
+TEST(D2tcp, UrgencyIsClampedToConfiguredRange) {
+  HostPair net;
+  D2tcpConfig d2cfg;
+  d2cfg.d_min = 0.25;
+  d2cfg.d_max = 4.0;
+  TcpReceiver recv{&net.b, 1, net.a.id()};
+  D2tcpSender sender{&net.a, net.b.id(), 1, TcpConfig{}, d2cfg};
+  sender.write(100 * 1460);
+  net.sim.run_until(sim::SimTime::millis(1));
+  sender.set_deadline(net.sim.now() + sim::SimTime::seconds(1000.0));
+  EXPECT_GE(sender.urgency(), 0.25);
+  sender.set_deadline(net.sim.now() + sim::SimTime::nanos(1));
+  EXPECT_LE(sender.urgency(), 4.0);
+  net.sim.run();
+}
+
+TEST(D2tcp, NearDeadlineFlowOutrunsFarDeadlineFlow) {
+  // Two D2TCP flows share an ECN bottleneck; the near-deadline flow should
+  // finish first because it backs off less on marks.
+  HostPair net{1'000'000'000, sim::SimTime::micros(200),
+               net::QueueConfig::ecn_packets(200, 20)};
+  TcpReceiver recv1{&net.b, 1, net.a.id()};
+  TcpReceiver recv2{&net.b, 2, net.a.id()};
+  D2tcpSender near_flow{&net.a, net.b.id(), 1, TcpConfig{}};
+  D2tcpSender far_flow{&net.a, net.b.id(), 2, TcpConfig{}};
+
+  const std::uint64_t bytes = 2000 * 1460;
+  near_flow.set_deadline(sim::SimTime::millis(15));
+  far_flow.set_deadline(sim::SimTime::seconds(10.0));
+  near_flow.write(bytes);
+  far_flow.write(bytes);
+  net.sim.run();
+
+  ASSERT_TRUE(near_flow.idle());
+  ASSERT_TRUE(far_flow.idle());
+  const auto near_done = near_flow.stats().completed_message_times().at(0);
+  const auto far_done = far_flow.stats().completed_message_times().at(0);
+  EXPECT_LT(near_done, far_done);
+}
+
+}  // namespace
+}  // namespace trim::tcp

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "tcp/rtt_estimator.hpp"
+
+namespace trim::tcp {
+namespace {
+
+using sim::SimTime;
+
+TEST(RttEstimator, FirstSampleInitializesSrttAndVar) {
+  RttEstimator est;
+  EXPECT_FALSE(est.has_sample());
+  est.add_sample(SimTime::micros(100));
+  EXPECT_TRUE(est.has_sample());
+  EXPECT_EQ(est.srtt(), SimTime::micros(100));
+  EXPECT_EQ(est.rttvar(), SimTime::micros(50));
+  EXPECT_EQ(est.min_rtt(), SimTime::micros(100));
+}
+
+TEST(RttEstimator, EwmaConvergesTowardStableRtt) {
+  RttEstimator est;
+  est.add_sample(SimTime::micros(1000));
+  for (int i = 0; i < 100; ++i) est.add_sample(SimTime::micros(200));
+  EXPECT_NEAR(est.srtt().to_micros(), 200.0, 5.0);
+  EXPECT_LT(est.rttvar().to_micros(), 20.0);
+}
+
+TEST(RttEstimator, MinTracksSmallestEverSample) {
+  RttEstimator est;
+  est.add_sample(SimTime::micros(300));
+  est.add_sample(SimTime::micros(120));
+  est.add_sample(SimTime::micros(500));
+  EXPECT_EQ(est.min_rtt(), SimTime::micros(120));
+}
+
+TEST(RttEstimator, RtoClampedToFloorAndCeiling) {
+  RttEstimator est;
+  const auto floor = SimTime::millis(200);
+  const auto ceil = SimTime::seconds(60);
+  // No samples: conservative floor.
+  EXPECT_EQ(est.rto(floor, ceil), floor);
+  // Tiny RTT: srtt + 4*var << floor, so still floor.
+  est.add_sample(SimTime::micros(100));
+  EXPECT_EQ(est.rto(floor, ceil), floor);
+  // Large RTT: raw value wins.
+  RttEstimator big;
+  big.add_sample(SimTime::seconds(1.0));
+  EXPECT_GT(big.rto(floor, ceil), SimTime::seconds(1.0));
+  EXPECT_LE(big.rto(floor, ceil), ceil);
+}
+
+TEST(RttEstimator, RtoUsesVariance) {
+  RttEstimator est;
+  // Oscillating samples keep the variance high.
+  for (int i = 0; i < 50; ++i) {
+    est.add_sample(SimTime::micros(i % 2 == 0 ? 100 : 900));
+  }
+  const auto rto = est.rto(SimTime::micros(1), SimTime::seconds(60));
+  EXPECT_GT(rto, est.srtt());  // 4*var term contributes
+}
+
+TEST(RttEstimator, NegativeSampleClampsToZero) {
+  RttEstimator est;
+  est.add_sample(SimTime::zero() - SimTime::micros(5));
+  EXPECT_EQ(est.min_rtt(), SimTime::zero());
+}
+
+}  // namespace
+}  // namespace trim::tcp

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "tcp/reno.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp_test_util.hpp"
+
+namespace trim::tcp {
+namespace {
+
+using test::HostPair;
+
+struct RenoFlow {
+  explicit RenoFlow(HostPair& net, TcpConfig cfg = {})
+      : receiver{&net.b, 1, net.a.id()}, sender{&net.a, net.b.id(), 1, cfg} {}
+  TcpReceiver receiver;
+  RenoSender sender;
+};
+
+TEST(TcpSender, DeliversExactByteStream) {
+  HostPair net;
+  RenoFlow f{net};
+  f.sender.write(123'456);
+  net.sim.run();
+  EXPECT_TRUE(f.sender.idle());
+  EXPECT_EQ(f.receiver.delivered_bytes(), 123'456u);
+  EXPECT_EQ(f.sender.bytes_acked(), 123'456u);
+  EXPECT_EQ(f.sender.stats().timeouts, 0u);
+  EXPECT_EQ(f.sender.stats().retransmitted_packets, 0u);
+}
+
+TEST(TcpSender, SegmentsAtMssWithShortTail) {
+  HostPair net;
+  RenoFlow f{net};
+  f.sender.write(1460 * 3 + 700);  // 4 segments, last short
+  net.sim.run();
+  EXPECT_EQ(f.receiver.received_data_packets(), 4u);
+  EXPECT_EQ(f.receiver.delivered_bytes(), 1460u * 3 + 700);
+}
+
+TEST(TcpSender, SlowStartGrowsWindowPerAck) {
+  HostPair net;
+  TcpConfig cfg;
+  cfg.initial_cwnd = 2.0;
+  RenoFlow f{net, cfg};
+  f.sender.write(100 * 1460);
+  net.sim.run();
+  // 100 segments acked in pure slow start: cwnd ~ 2 + 100.
+  EXPECT_NEAR(f.sender.cwnd(), 102.0, 1.0);
+}
+
+TEST(TcpSender, CongestionAvoidanceGrowsOnePerRtt) {
+  HostPair net;
+  TcpConfig cfg;
+  cfg.initial_cwnd = 10.0;
+  RenoFlow f{net, cfg};
+  // Force congestion avoidance from the start.
+  f.sender.write(1460);  // prime: 1 segment to have a window sample
+  net.sim.run();
+  // ssthresh is huge; instead verify CA arithmetic via reno hooks by
+  // dropping one packet later (covered in loss tests). Here just confirm
+  // in-flight never exceeds the window.
+  EXPECT_LE(f.sender.in_flight(), static_cast<std::uint64_t>(f.sender.cwnd()) + 1);
+}
+
+TEST(TcpSender, FastRetransmitRepairsSingleLossWithoutRto) {
+  HostPair net;
+  RenoFlow f{net};
+  net.data_queue->drop_segment_once(20);
+  f.sender.write(200 * 1460);
+  net.sim.run();
+  EXPECT_TRUE(f.sender.idle());
+  EXPECT_EQ(f.receiver.delivered_bytes(), 200u * 1460);
+  EXPECT_EQ(f.sender.stats().fast_retransmits, 1u);
+  EXPECT_EQ(f.sender.stats().timeouts, 0u);
+  EXPECT_EQ(f.sender.stats().retransmitted_packets, 1u);
+}
+
+TEST(TcpSender, FastRetransmitHalvesWindow) {
+  HostPair net;
+  RenoFlow f{net};
+  net.data_queue->drop_segment_once(50);
+  f.sender.write(400 * 1460);
+  double cwnd_after_recovery = 0;
+  net.sim.run();
+  cwnd_after_recovery = f.sender.cwnd();
+  // Window should be far below the ~400 slow start would have reached.
+  EXPECT_LT(cwnd_after_recovery, 120.0);
+  EXPECT_GT(cwnd_after_recovery, 2.0);
+}
+
+TEST(TcpSender, MultipleLossesInWindowRecoverViaNewReno) {
+  HostPair net;
+  RenoFlow f{net};
+  net.data_queue->drop_segment_once(30);
+  net.data_queue->drop_segment_once(31);
+  net.data_queue->drop_segment_once(35);
+  f.sender.write(300 * 1460);
+  net.sim.run();
+  EXPECT_TRUE(f.sender.idle());
+  EXPECT_EQ(f.receiver.delivered_bytes(), 300u * 1460);
+}
+
+TEST(TcpSender, TailLossRequiresRto) {
+  HostPair net;
+  TcpConfig cfg;
+  cfg.min_rto = sim::SimTime::millis(10);
+  RenoFlow f{net, cfg};
+  // Drop the very last segment: no dupacks can follow, so only the RTO
+  // can repair it.
+  net.data_queue->drop_segment_once(9);
+  f.sender.write(10 * 1460);
+  net.sim.run();
+  EXPECT_TRUE(f.sender.idle());
+  EXPECT_EQ(f.sender.stats().timeouts, 1u);
+  EXPECT_EQ(f.receiver.delivered_bytes(), 10u * 1460);
+}
+
+TEST(TcpSender, WholeWindowLossCollapsesToRto) {
+  HostPair net;
+  TcpConfig cfg;
+  cfg.min_rto = sim::SimTime::millis(10);
+  RenoFlow f{net, cfg};
+  net.data_queue->drop_next_data(2);  // initial window is 2: all lost
+  f.sender.write(50 * 1460);
+  net.sim.run();
+  EXPECT_TRUE(f.sender.idle());
+  EXPECT_GE(f.sender.stats().timeouts, 1u);
+  EXPECT_EQ(f.receiver.delivered_bytes(), 50u * 1460);
+}
+
+TEST(TcpSender, RepeatedLossBacksOffExponentially) {
+  HostPair net;
+  TcpConfig cfg;
+  cfg.min_rto = sim::SimTime::millis(10);
+  RenoFlow f{net, cfg};
+  // Lose the first segment four times in a row (initial + 3 retransmits).
+  net.data_queue->drop_segment_once(0);
+  net.data_queue->drop_segment_once(0);
+  net.data_queue->drop_segment_once(0);
+  net.data_queue->drop_segment_once(0);
+  const auto start = net.sim.now();
+  f.sender.write(1460);
+  net.sim.run();
+  EXPECT_TRUE(f.sender.idle());
+  EXPECT_EQ(f.sender.stats().timeouts, 4u);
+  // Backoff: 10 + 20 + 40 + 80 = at least 150 ms before success.
+  EXPECT_GE((net.sim.now() - start).to_millis(), 150.0);
+}
+
+TEST(TcpSender, RtoRestartsFromOneSegment) {
+  HostPair net;
+  TcpConfig cfg;
+  cfg.min_rto = sim::SimTime::millis(10);
+  cfg.cwnd_after_rto = 1.0;
+  RenoFlow f{net, cfg};
+  stats::TimeSeries cwnd_trace;
+  f.sender.set_cwnd_trace(&cwnd_trace);
+  net.data_queue->drop_next_data(2);
+  f.sender.write(100 * 1460);
+  net.sim.run();
+  EXPECT_TRUE(f.sender.idle());
+  // The trace must show the post-RTO collapse to exactly one segment.
+  EXPECT_DOUBLE_EQ(cwnd_trace.min_value(), 1.0);
+  EXPECT_GE(f.sender.stats().timeouts, 1u);
+}
+
+TEST(TcpSender, MessageCompletionCallbacksFireInOrder) {
+  HostPair net;
+  RenoFlow f{net};
+  std::vector<std::uint64_t> completed;
+  f.sender.add_message_complete_callback(
+      [&](std::uint64_t id, sim::SimTime) { completed.push_back(id); });
+  const auto m0 = f.sender.write(10'000);
+  const auto m1 = f.sender.write(20'000);
+  const auto m2 = f.sender.write(5'000);
+  net.sim.run();
+  EXPECT_EQ(completed, (std::vector<std::uint64_t>{m0, m1, m2}));
+  EXPECT_EQ(f.sender.stats().completed_message_times().size(), 3u);
+}
+
+TEST(TcpSender, WriteWhileBusyQueuesBehindExistingData) {
+  HostPair net;
+  RenoFlow f{net};
+  f.sender.write(50 * 1460);
+  net.sim.run_until(sim::SimTime::micros(200));
+  f.sender.write(50 * 1460);
+  net.sim.run();
+  EXPECT_EQ(f.receiver.delivered_bytes(), 100u * 1460);
+  EXPECT_TRUE(f.sender.idle());
+}
+
+TEST(TcpSender, ZeroByteWriteRejected) {
+  HostPair net;
+  RenoFlow f{net};
+  EXPECT_THROW(f.sender.write(0), std::invalid_argument);
+}
+
+TEST(TcpSender, RttSamplesAreLinkAccurate) {
+  HostPair net;  // 50 us each way + serialization
+  RenoFlow f{net};
+  f.sender.write(1460);
+  net.sim.run();
+  // RTT = 2*50 us prop + 12 us data serialization + 0.32 us ack.
+  EXPECT_NEAR(f.sender.rtt().srtt().to_micros(), 112.3, 1.0);
+}
+
+TEST(TcpReceiver, CountsDuplicatesFromSpuriousRetransmission) {
+  HostPair net;
+  TcpConfig cfg;
+  cfg.min_rto = sim::SimTime::millis(1);  // aggressively small: spurious RTOs
+  RenoFlow f{net, cfg};
+  // Nothing dropped, but with a 1 ms floor and ~112 us RTT the first RTO
+  // should never fire; verify no duplicates in the clean case.
+  f.sender.write(20 * 1460);
+  net.sim.run();
+  EXPECT_EQ(f.receiver.duplicate_data_packets(), 0u);
+}
+
+TEST(TcpSender, InFlightNeverExceedsWindow) {
+  HostPair net;
+  RenoFlow f{net};
+  bool violated = false;
+  // Poll the invariant while the transfer runs.
+  for (int i = 0; i < 200; ++i) {
+    net.sim.schedule_at(sim::SimTime::micros(25 * i), [&] {
+      if (f.sender.in_flight() >
+          static_cast<std::uint64_t>(f.sender.cwnd()) + 1) {
+        violated = true;
+      }
+    });
+  }
+  f.sender.write(300 * 1460);
+  net.sim.run();
+  EXPECT_FALSE(violated);
+}
+
+}  // namespace
+}  // namespace trim::tcp

@@ -1,0 +1,81 @@
+// Shared harness for transport tests: two directly linked hosts with a
+// scriptable drop queue on the data path, so tests can lose precisely the
+// segments they want to.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace trim::test {
+
+// DropTail queue that additionally drops selected data segments, once each.
+class ScriptedDropQueue : public net::DropTailQueue {
+ public:
+  explicit ScriptedDropQueue(net::QueueConfig cfg) : DropTailQueue{cfg} {}
+
+  void drop_segment_once(std::uint64_t seq) { to_drop_.insert(seq); }
+  void drop_next_data(int n) { drop_next_ += n; }
+
+  bool enqueue(net::Packet p) override {
+    if (!p.is_ack) {
+      if (drop_next_ > 0) {
+        --drop_next_;
+        drop(p);
+        return false;
+      }
+      const auto it = to_drop_.find(p.seq);
+      if (it != to_drop_.end()) {
+        to_drop_.erase(it);
+        drop(p);
+        return false;
+      }
+    }
+    // Honor an ECN marking threshold if the config carries one (so DCTCP
+    // tests can use this scriptable queue as their bottleneck).
+    if (cfg_.ecn_enabled() && p.ecn == net::EcnCodepoint::kEct) {
+      const bool over_pkts = cfg_.ecn_threshold_packets != 0 &&
+                             len_packets() >= cfg_.ecn_threshold_packets;
+      const bool over_bytes = cfg_.ecn_threshold_bytes != 0 &&
+                              len_bytes() + p.size_bytes() > cfg_.ecn_threshold_bytes;
+      if (over_pkts || over_bytes) {
+        p.ecn = net::EcnCodepoint::kCe;
+        ++stats_.marked_ce;
+      }
+    }
+    return DropTailQueue::enqueue(std::move(p));
+  }
+
+ private:
+  std::multiset<std::uint64_t> to_drop_;
+  int drop_next_ = 0;
+};
+
+// a --(data path, scriptable)--> b and b --(clean ack path)--> a.
+struct HostPair {
+  explicit HostPair(std::uint64_t bps = 1'000'000'000,
+                    sim::SimTime delay = sim::SimTime::micros(50),
+                    net::QueueConfig data_queue_cfg = net::QueueConfig{}) {
+    auto dq = std::make_unique<ScriptedDropQueue>(data_queue_cfg);
+    data_queue = dq.get();
+    ab = std::make_unique<net::Link>(&sim, "a->b", bps, delay, std::move(dq));
+    ba = std::make_unique<net::Link>(&sim, "b->a", bps, delay,
+                                     net::make_queue(net::QueueConfig{}));
+    ab->set_peer(&b);
+    ba->set_peer(&a);
+    a.attach_link(ab.get());
+    b.attach_link(ba.get());
+  }
+
+  sim::Simulator sim;
+  net::Host a{&sim, 0, "a"};
+  net::Host b{&sim, 1, "b"};
+  std::unique_ptr<net::Link> ab, ba;
+  ScriptedDropQueue* data_queue = nullptr;
+};
+
+}  // namespace trim::test

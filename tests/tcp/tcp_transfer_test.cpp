@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "core/sender_factory.hpp"
+#include "exp/experiment.hpp"
+#include "topo/many_to_one.hpp"
+
+using namespace trim;
+
+TEST(TcpTransfer, SingleFlowDeliversAllBytes) {
+  exp::World world;
+  topo::ManyToOneConfig cfg;
+  cfg.num_servers = 1;
+  const auto topo = build_many_to_one(world.network, cfg);
+  core::ProtocolOptions opts;
+  auto flow = core::make_protocol_flow(world.network, *topo.servers[0],
+                                       *topo.front_end, tcp::Protocol::kReno, opts);
+  flow.sender->write(1'000'000);
+  world.simulator.run_until(sim::SimTime::seconds(5));
+  EXPECT_TRUE(flow.sender->idle());
+  EXPECT_EQ(flow.receiver->delivered_bytes(), 1'000'000u);
+  EXPECT_EQ(flow.sender->stats().timeouts, 0u);
+  // 1 MB at ~1 Gbps should finish in ~10 ms.
+  auto times = flow.sender->stats().completed_message_times();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_LT(times[0].to_millis(), 30.0);
+  EXPECT_GT(times[0].to_millis(), 7.0);
+}
+
+TEST(TcpTransfer, FiveFlowIncastCausesRenoDropsButTrimAvoidsThem) {
+  for (auto proto : {tcp::Protocol::kReno, tcp::Protocol::kTrim}) {
+    exp::World world;
+    topo::ManyToOneConfig cfg;
+    cfg.num_servers = 5;
+    const auto topo = build_many_to_one(world.network, cfg);
+    auto opts = exp::default_options(proto, cfg.link_bps, sim::SimTime::millis(200));
+    std::vector<tcp::Flow> flows;
+    for (int i = 0; i < 5; ++i) {
+      flows.push_back(core::make_protocol_flow(world.network, *topo.servers[i],
+                                               *topo.front_end, proto, opts));
+      flows.back().sender->write(2'000'000);
+    }
+    world.simulator.run_until(sim::SimTime::seconds(10));
+    std::uint64_t delivered = 0;
+    for (auto& f : flows) {
+      EXPECT_TRUE(f.sender->idle()) << tcp::to_string(proto);
+      delivered += f.receiver->delivered_bytes();
+    }
+    EXPECT_EQ(delivered, 10'000'000u);
+    printf("%s: drops=%llu\n", tcp::to_string(proto).c_str(),
+           (unsigned long long)world.network.total_drops());
+  }
+}
