@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_packet_train.dir/bench/bench_fig01_packet_train.cpp.o"
+  "CMakeFiles/bench_fig01_packet_train.dir/bench/bench_fig01_packet_train.cpp.o.d"
+  "bench/bench_fig01_packet_train"
+  "bench/bench_fig01_packet_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_packet_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_motivation.dir/bench/bench_fig04_motivation.cpp.o"
+  "CMakeFiles/bench_fig04_motivation.dir/bench/bench_fig04_motivation.cpp.o.d"
+  "bench/bench_fig04_motivation"
+  "bench/bench_fig04_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_concurrency_tcp.dir/bench/bench_fig05_concurrency_tcp.cpp.o"
+  "CMakeFiles/bench_fig05_concurrency_tcp.dir/bench/bench_fig05_concurrency_tcp.cpp.o.d"
+  "bench/bench_fig05_concurrency_tcp"
+  "bench/bench_fig05_concurrency_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_concurrency_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

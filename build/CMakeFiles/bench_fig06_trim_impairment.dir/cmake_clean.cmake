@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_trim_impairment.dir/bench/bench_fig06_trim_impairment.cpp.o"
+  "CMakeFiles/bench_fig06_trim_impairment.dir/bench/bench_fig06_trim_impairment.cpp.o.d"
+  "bench/bench_fig06_trim_impairment"
+  "bench/bench_fig06_trim_impairment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_trim_impairment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

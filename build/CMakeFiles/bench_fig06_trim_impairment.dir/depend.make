@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_trim_impairment.
+# This may be replaced when dependencies are built.

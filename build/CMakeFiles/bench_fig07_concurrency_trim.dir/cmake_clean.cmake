@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_concurrency_trim.dir/bench/bench_fig07_concurrency_trim.cpp.o"
+  "CMakeFiles/bench_fig07_concurrency_trim.dir/bench/bench_fig07_concurrency_trim.cpp.o.d"
+  "bench/bench_fig07_concurrency_trim"
+  "bench/bench_fig07_concurrency_trim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_concurrency_trim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_properties.dir/bench/bench_fig09_properties.cpp.o"
+  "CMakeFiles/bench_fig09_properties.dir/bench/bench_fig09_properties.cpp.o.d"
+  "bench/bench_fig09_properties"
+  "bench/bench_fig09_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_multihop.dir/bench/bench_fig11_multihop.cpp.o"
+  "CMakeFiles/bench_fig11_multihop.dir/bench/bench_fig11_multihop.cpp.o.d"
+  "bench/bench_fig11_multihop"
+  "bench/bench_fig11_multihop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_fattree.dir/bench/bench_fig12_fattree.cpp.o"
+  "CMakeFiles/bench_fig12_fattree.dir/bench/bench_fig12_fattree.cpp.o.d"
+  "bench/bench_fig12_fattree"
+  "bench/bench_fig12_fattree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_fattree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

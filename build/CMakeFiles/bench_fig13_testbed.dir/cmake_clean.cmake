@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_testbed.dir/bench/bench_fig13_testbed.cpp.o"
+  "CMakeFiles/bench_fig13_testbed.dir/bench/bench_fig13_testbed.cpp.o.d"
+  "bench/bench_fig13_testbed"
+  "bench/bench_fig13_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

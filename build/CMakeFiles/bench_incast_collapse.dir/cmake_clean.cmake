@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incast_collapse.dir/bench/bench_incast_collapse.cpp.o"
+  "CMakeFiles/bench_incast_collapse.dir/bench/bench_incast_collapse.cpp.o.d"
+  "bench/bench_incast_collapse"
+  "bench/bench_incast_collapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incast_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

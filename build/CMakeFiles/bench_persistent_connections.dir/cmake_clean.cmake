@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_persistent_connections.dir/bench/bench_persistent_connections.cpp.o"
+  "CMakeFiles/bench_persistent_connections.dir/bench/bench_persistent_connections.cpp.o.d"
+  "bench/bench_persistent_connections"
+  "bench/bench_persistent_connections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_persistent_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_delay.dir/bench/bench_related_delay.cpp.o"
+  "CMakeFiles/bench_related_delay.dir/bench/bench_related_delay.cpp.o.d"
+  "bench/bench_related_delay"
+  "bench/bench_related_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

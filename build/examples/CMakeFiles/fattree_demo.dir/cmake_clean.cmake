@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fattree_demo.dir/fattree_demo.cpp.o"
+  "CMakeFiles/fattree_demo.dir/fattree_demo.cpp.o.d"
+  "fattree_demo"
+  "fattree_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fattree_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

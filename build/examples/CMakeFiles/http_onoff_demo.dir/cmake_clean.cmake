@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_onoff_demo.dir/http_onoff_demo.cpp.o"
+  "CMakeFiles/http_onoff_demo.dir/http_onoff_demo.cpp.o.d"
+  "http_onoff_demo"
+  "http_onoff_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_onoff_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

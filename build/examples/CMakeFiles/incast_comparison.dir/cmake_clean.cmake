@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_comparison.dir/incast_comparison.cpp.o"
+  "CMakeFiles/incast_comparison.dir/incast_comparison.cpp.o.d"
+  "incast_comparison"
+  "incast_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/k_guideline.cpp" "src/CMakeFiles/trim_core.dir/core/k_guideline.cpp.o" "gcc" "src/CMakeFiles/trim_core.dir/core/k_guideline.cpp.o.d"
+  "/root/repo/src/core/sender_factory.cpp" "src/CMakeFiles/trim_core.dir/core/sender_factory.cpp.o" "gcc" "src/CMakeFiles/trim_core.dir/core/sender_factory.cpp.o.d"
+  "/root/repo/src/core/trim_sender.cpp" "src/CMakeFiles/trim_core.dir/core/trim_sender.cpp.o" "gcc" "src/CMakeFiles/trim_core.dir/core/trim_sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trim_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trim_core.dir/core/k_guideline.cpp.o"
+  "CMakeFiles/trim_core.dir/core/k_guideline.cpp.o.d"
+  "CMakeFiles/trim_core.dir/core/sender_factory.cpp.o"
+  "CMakeFiles/trim_core.dir/core/sender_factory.cpp.o.d"
+  "CMakeFiles/trim_core.dir/core/trim_sender.cpp.o"
+  "CMakeFiles/trim_core.dir/core/trim_sender.cpp.o.d"
+  "libtrim_core.a"
+  "libtrim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/concurrency_scenario.cpp" "src/CMakeFiles/trim_exp.dir/exp/concurrency_scenario.cpp.o" "gcc" "src/CMakeFiles/trim_exp.dir/exp/concurrency_scenario.cpp.o.d"
+  "/root/repo/src/exp/convergence_scenario.cpp" "src/CMakeFiles/trim_exp.dir/exp/convergence_scenario.cpp.o" "gcc" "src/CMakeFiles/trim_exp.dir/exp/convergence_scenario.cpp.o.d"
+  "/root/repo/src/exp/experiment.cpp" "src/CMakeFiles/trim_exp.dir/exp/experiment.cpp.o" "gcc" "src/CMakeFiles/trim_exp.dir/exp/experiment.cpp.o.d"
+  "/root/repo/src/exp/fattree_scenario.cpp" "src/CMakeFiles/trim_exp.dir/exp/fattree_scenario.cpp.o" "gcc" "src/CMakeFiles/trim_exp.dir/exp/fattree_scenario.cpp.o.d"
+  "/root/repo/src/exp/impairment_scenario.cpp" "src/CMakeFiles/trim_exp.dir/exp/impairment_scenario.cpp.o" "gcc" "src/CMakeFiles/trim_exp.dir/exp/impairment_scenario.cpp.o.d"
+  "/root/repo/src/exp/large_scale_scenario.cpp" "src/CMakeFiles/trim_exp.dir/exp/large_scale_scenario.cpp.o" "gcc" "src/CMakeFiles/trim_exp.dir/exp/large_scale_scenario.cpp.o.d"
+  "/root/repo/src/exp/multihop_scenario.cpp" "src/CMakeFiles/trim_exp.dir/exp/multihop_scenario.cpp.o" "gcc" "src/CMakeFiles/trim_exp.dir/exp/multihop_scenario.cpp.o.d"
+  "/root/repo/src/exp/properties_scenario.cpp" "src/CMakeFiles/trim_exp.dir/exp/properties_scenario.cpp.o" "gcc" "src/CMakeFiles/trim_exp.dir/exp/properties_scenario.cpp.o.d"
+  "/root/repo/src/exp/testbed_scenario.cpp" "src/CMakeFiles/trim_exp.dir/exp/testbed_scenario.cpp.o" "gcc" "src/CMakeFiles/trim_exp.dir/exp/testbed_scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

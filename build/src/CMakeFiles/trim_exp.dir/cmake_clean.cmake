@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trim_exp.dir/exp/concurrency_scenario.cpp.o"
+  "CMakeFiles/trim_exp.dir/exp/concurrency_scenario.cpp.o.d"
+  "CMakeFiles/trim_exp.dir/exp/convergence_scenario.cpp.o"
+  "CMakeFiles/trim_exp.dir/exp/convergence_scenario.cpp.o.d"
+  "CMakeFiles/trim_exp.dir/exp/experiment.cpp.o"
+  "CMakeFiles/trim_exp.dir/exp/experiment.cpp.o.d"
+  "CMakeFiles/trim_exp.dir/exp/fattree_scenario.cpp.o"
+  "CMakeFiles/trim_exp.dir/exp/fattree_scenario.cpp.o.d"
+  "CMakeFiles/trim_exp.dir/exp/impairment_scenario.cpp.o"
+  "CMakeFiles/trim_exp.dir/exp/impairment_scenario.cpp.o.d"
+  "CMakeFiles/trim_exp.dir/exp/large_scale_scenario.cpp.o"
+  "CMakeFiles/trim_exp.dir/exp/large_scale_scenario.cpp.o.d"
+  "CMakeFiles/trim_exp.dir/exp/multihop_scenario.cpp.o"
+  "CMakeFiles/trim_exp.dir/exp/multihop_scenario.cpp.o.d"
+  "CMakeFiles/trim_exp.dir/exp/properties_scenario.cpp.o"
+  "CMakeFiles/trim_exp.dir/exp/properties_scenario.cpp.o.d"
+  "CMakeFiles/trim_exp.dir/exp/testbed_scenario.cpp.o"
+  "CMakeFiles/trim_exp.dir/exp/testbed_scenario.cpp.o.d"
+  "libtrim_exp.a"
+  "libtrim_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trim_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

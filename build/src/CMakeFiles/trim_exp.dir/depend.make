@@ -1,0 +1,2 @@
+# Empty dependencies file for trim_exp.
+# This may be replaced when dependencies are built.

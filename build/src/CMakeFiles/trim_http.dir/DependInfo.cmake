@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/http_app.cpp" "src/CMakeFiles/trim_http.dir/http/http_app.cpp.o" "gcc" "src/CMakeFiles/trim_http.dir/http/http_app.cpp.o.d"
+  "/root/repo/src/http/lpt_source.cpp" "src/CMakeFiles/trim_http.dir/http/lpt_source.cpp.o" "gcc" "src/CMakeFiles/trim_http.dir/http/lpt_source.cpp.o.d"
+  "/root/repo/src/http/onoff_source.cpp" "src/CMakeFiles/trim_http.dir/http/onoff_source.cpp.o" "gcc" "src/CMakeFiles/trim_http.dir/http/onoff_source.cpp.o.d"
+  "/root/repo/src/http/trace_io.cpp" "src/CMakeFiles/trim_http.dir/http/trace_io.cpp.o" "gcc" "src/CMakeFiles/trim_http.dir/http/trace_io.cpp.o.d"
+  "/root/repo/src/http/train_analyzer.cpp" "src/CMakeFiles/trim_http.dir/http/train_analyzer.cpp.o" "gcc" "src/CMakeFiles/trim_http.dir/http/train_analyzer.cpp.o.d"
+  "/root/repo/src/http/train_workload.cpp" "src/CMakeFiles/trim_http.dir/http/train_workload.cpp.o" "gcc" "src/CMakeFiles/trim_http.dir/http/train_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trim_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

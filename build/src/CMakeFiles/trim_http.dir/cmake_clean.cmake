@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trim_http.dir/http/http_app.cpp.o"
+  "CMakeFiles/trim_http.dir/http/http_app.cpp.o.d"
+  "CMakeFiles/trim_http.dir/http/lpt_source.cpp.o"
+  "CMakeFiles/trim_http.dir/http/lpt_source.cpp.o.d"
+  "CMakeFiles/trim_http.dir/http/onoff_source.cpp.o"
+  "CMakeFiles/trim_http.dir/http/onoff_source.cpp.o.d"
+  "CMakeFiles/trim_http.dir/http/trace_io.cpp.o"
+  "CMakeFiles/trim_http.dir/http/trace_io.cpp.o.d"
+  "CMakeFiles/trim_http.dir/http/train_analyzer.cpp.o"
+  "CMakeFiles/trim_http.dir/http/train_analyzer.cpp.o.d"
+  "CMakeFiles/trim_http.dir/http/train_workload.cpp.o"
+  "CMakeFiles/trim_http.dir/http/train_workload.cpp.o.d"
+  "libtrim_http.a"
+  "libtrim_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trim_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

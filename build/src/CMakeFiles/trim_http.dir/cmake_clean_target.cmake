@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrim_http.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/host.cpp" "src/CMakeFiles/trim_net.dir/net/host.cpp.o" "gcc" "src/CMakeFiles/trim_net.dir/net/host.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/trim_net.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/trim_net.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/trim_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/trim_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/trim_net.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/trim_net.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/trim_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/trim_net.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/CMakeFiles/trim_net.dir/net/queue.cpp.o" "gcc" "src/CMakeFiles/trim_net.dir/net/queue.cpp.o.d"
+  "/root/repo/src/net/red_queue.cpp" "src/CMakeFiles/trim_net.dir/net/red_queue.cpp.o" "gcc" "src/CMakeFiles/trim_net.dir/net/red_queue.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/CMakeFiles/trim_net.dir/net/routing.cpp.o" "gcc" "src/CMakeFiles/trim_net.dir/net/routing.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/CMakeFiles/trim_net.dir/net/switch.cpp.o" "gcc" "src/CMakeFiles/trim_net.dir/net/switch.cpp.o.d"
+  "/root/repo/src/net/trace_tap.cpp" "src/CMakeFiles/trim_net.dir/net/trace_tap.cpp.o" "gcc" "src/CMakeFiles/trim_net.dir/net/trace_tap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

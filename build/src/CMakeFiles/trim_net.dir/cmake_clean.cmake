@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trim_net.dir/net/host.cpp.o"
+  "CMakeFiles/trim_net.dir/net/host.cpp.o.d"
+  "CMakeFiles/trim_net.dir/net/link.cpp.o"
+  "CMakeFiles/trim_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/trim_net.dir/net/network.cpp.o"
+  "CMakeFiles/trim_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/trim_net.dir/net/node.cpp.o"
+  "CMakeFiles/trim_net.dir/net/node.cpp.o.d"
+  "CMakeFiles/trim_net.dir/net/packet.cpp.o"
+  "CMakeFiles/trim_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/trim_net.dir/net/queue.cpp.o"
+  "CMakeFiles/trim_net.dir/net/queue.cpp.o.d"
+  "CMakeFiles/trim_net.dir/net/red_queue.cpp.o"
+  "CMakeFiles/trim_net.dir/net/red_queue.cpp.o.d"
+  "CMakeFiles/trim_net.dir/net/routing.cpp.o"
+  "CMakeFiles/trim_net.dir/net/routing.cpp.o.d"
+  "CMakeFiles/trim_net.dir/net/switch.cpp.o"
+  "CMakeFiles/trim_net.dir/net/switch.cpp.o.d"
+  "CMakeFiles/trim_net.dir/net/trace_tap.cpp.o"
+  "CMakeFiles/trim_net.dir/net/trace_tap.cpp.o.d"
+  "libtrim_net.a"
+  "libtrim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trim_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/trim_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/trim_sim.dir/sim/logging.cpp.o"
+  "CMakeFiles/trim_sim.dir/sim/logging.cpp.o.d"
+  "CMakeFiles/trim_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/trim_sim.dir/sim/random.cpp.o.d"
+  "CMakeFiles/trim_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/trim_sim.dir/sim/simulator.cpp.o.d"
+  "libtrim_sim.a"
+  "libtrim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/cdf.cpp" "src/CMakeFiles/trim_stats.dir/stats/cdf.cpp.o" "gcc" "src/CMakeFiles/trim_stats.dir/stats/cdf.cpp.o.d"
+  "/root/repo/src/stats/csv.cpp" "src/CMakeFiles/trim_stats.dir/stats/csv.cpp.o" "gcc" "src/CMakeFiles/trim_stats.dir/stats/csv.cpp.o.d"
+  "/root/repo/src/stats/flow_stats.cpp" "src/CMakeFiles/trim_stats.dir/stats/flow_stats.cpp.o" "gcc" "src/CMakeFiles/trim_stats.dir/stats/flow_stats.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/trim_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/trim_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/rate_meter.cpp" "src/CMakeFiles/trim_stats.dir/stats/rate_meter.cpp.o" "gcc" "src/CMakeFiles/trim_stats.dir/stats/rate_meter.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/trim_stats.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/trim_stats.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/trim_stats.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/trim_stats.dir/stats/table.cpp.o.d"
+  "/root/repo/src/stats/time_series.cpp" "src/CMakeFiles/trim_stats.dir/stats/time_series.cpp.o" "gcc" "src/CMakeFiles/trim_stats.dir/stats/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trim_stats.dir/stats/cdf.cpp.o"
+  "CMakeFiles/trim_stats.dir/stats/cdf.cpp.o.d"
+  "CMakeFiles/trim_stats.dir/stats/csv.cpp.o"
+  "CMakeFiles/trim_stats.dir/stats/csv.cpp.o.d"
+  "CMakeFiles/trim_stats.dir/stats/flow_stats.cpp.o"
+  "CMakeFiles/trim_stats.dir/stats/flow_stats.cpp.o.d"
+  "CMakeFiles/trim_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/trim_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/trim_stats.dir/stats/rate_meter.cpp.o"
+  "CMakeFiles/trim_stats.dir/stats/rate_meter.cpp.o.d"
+  "CMakeFiles/trim_stats.dir/stats/summary.cpp.o"
+  "CMakeFiles/trim_stats.dir/stats/summary.cpp.o.d"
+  "CMakeFiles/trim_stats.dir/stats/table.cpp.o"
+  "CMakeFiles/trim_stats.dir/stats/table.cpp.o.d"
+  "CMakeFiles/trim_stats.dir/stats/time_series.cpp.o"
+  "CMakeFiles/trim_stats.dir/stats/time_series.cpp.o.d"
+  "libtrim_stats.a"
+  "libtrim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

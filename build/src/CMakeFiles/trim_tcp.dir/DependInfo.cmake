@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/cubic.cpp" "src/CMakeFiles/trim_tcp.dir/tcp/cubic.cpp.o" "gcc" "src/CMakeFiles/trim_tcp.dir/tcp/cubic.cpp.o.d"
+  "/root/repo/src/tcp/d2tcp.cpp" "src/CMakeFiles/trim_tcp.dir/tcp/d2tcp.cpp.o" "gcc" "src/CMakeFiles/trim_tcp.dir/tcp/d2tcp.cpp.o.d"
+  "/root/repo/src/tcp/dctcp.cpp" "src/CMakeFiles/trim_tcp.dir/tcp/dctcp.cpp.o" "gcc" "src/CMakeFiles/trim_tcp.dir/tcp/dctcp.cpp.o.d"
+  "/root/repo/src/tcp/flow.cpp" "src/CMakeFiles/trim_tcp.dir/tcp/flow.cpp.o" "gcc" "src/CMakeFiles/trim_tcp.dir/tcp/flow.cpp.o.d"
+  "/root/repo/src/tcp/gip.cpp" "src/CMakeFiles/trim_tcp.dir/tcp/gip.cpp.o" "gcc" "src/CMakeFiles/trim_tcp.dir/tcp/gip.cpp.o.d"
+  "/root/repo/src/tcp/l2dct.cpp" "src/CMakeFiles/trim_tcp.dir/tcp/l2dct.cpp.o" "gcc" "src/CMakeFiles/trim_tcp.dir/tcp/l2dct.cpp.o.d"
+  "/root/repo/src/tcp/reno.cpp" "src/CMakeFiles/trim_tcp.dir/tcp/reno.cpp.o" "gcc" "src/CMakeFiles/trim_tcp.dir/tcp/reno.cpp.o.d"
+  "/root/repo/src/tcp/rtt_estimator.cpp" "src/CMakeFiles/trim_tcp.dir/tcp/rtt_estimator.cpp.o" "gcc" "src/CMakeFiles/trim_tcp.dir/tcp/rtt_estimator.cpp.o.d"
+  "/root/repo/src/tcp/tcp_receiver.cpp" "src/CMakeFiles/trim_tcp.dir/tcp/tcp_receiver.cpp.o" "gcc" "src/CMakeFiles/trim_tcp.dir/tcp/tcp_receiver.cpp.o.d"
+  "/root/repo/src/tcp/tcp_sender.cpp" "src/CMakeFiles/trim_tcp.dir/tcp/tcp_sender.cpp.o" "gcc" "src/CMakeFiles/trim_tcp.dir/tcp/tcp_sender.cpp.o.d"
+  "/root/repo/src/tcp/vegas.cpp" "src/CMakeFiles/trim_tcp.dir/tcp/vegas.cpp.o" "gcc" "src/CMakeFiles/trim_tcp.dir/tcp/vegas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trim_tcp.dir/tcp/cubic.cpp.o"
+  "CMakeFiles/trim_tcp.dir/tcp/cubic.cpp.o.d"
+  "CMakeFiles/trim_tcp.dir/tcp/d2tcp.cpp.o"
+  "CMakeFiles/trim_tcp.dir/tcp/d2tcp.cpp.o.d"
+  "CMakeFiles/trim_tcp.dir/tcp/dctcp.cpp.o"
+  "CMakeFiles/trim_tcp.dir/tcp/dctcp.cpp.o.d"
+  "CMakeFiles/trim_tcp.dir/tcp/flow.cpp.o"
+  "CMakeFiles/trim_tcp.dir/tcp/flow.cpp.o.d"
+  "CMakeFiles/trim_tcp.dir/tcp/gip.cpp.o"
+  "CMakeFiles/trim_tcp.dir/tcp/gip.cpp.o.d"
+  "CMakeFiles/trim_tcp.dir/tcp/l2dct.cpp.o"
+  "CMakeFiles/trim_tcp.dir/tcp/l2dct.cpp.o.d"
+  "CMakeFiles/trim_tcp.dir/tcp/reno.cpp.o"
+  "CMakeFiles/trim_tcp.dir/tcp/reno.cpp.o.d"
+  "CMakeFiles/trim_tcp.dir/tcp/rtt_estimator.cpp.o"
+  "CMakeFiles/trim_tcp.dir/tcp/rtt_estimator.cpp.o.d"
+  "CMakeFiles/trim_tcp.dir/tcp/tcp_receiver.cpp.o"
+  "CMakeFiles/trim_tcp.dir/tcp/tcp_receiver.cpp.o.d"
+  "CMakeFiles/trim_tcp.dir/tcp/tcp_sender.cpp.o"
+  "CMakeFiles/trim_tcp.dir/tcp/tcp_sender.cpp.o.d"
+  "CMakeFiles/trim_tcp.dir/tcp/vegas.cpp.o"
+  "CMakeFiles/trim_tcp.dir/tcp/vegas.cpp.o.d"
+  "libtrim_tcp.a"
+  "libtrim_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trim_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/fat_tree.cpp" "src/CMakeFiles/trim_topo.dir/topo/fat_tree.cpp.o" "gcc" "src/CMakeFiles/trim_topo.dir/topo/fat_tree.cpp.o.d"
+  "/root/repo/src/topo/many_to_one.cpp" "src/CMakeFiles/trim_topo.dir/topo/many_to_one.cpp.o" "gcc" "src/CMakeFiles/trim_topo.dir/topo/many_to_one.cpp.o.d"
+  "/root/repo/src/topo/multi_hop.cpp" "src/CMakeFiles/trim_topo.dir/topo/multi_hop.cpp.o" "gcc" "src/CMakeFiles/trim_topo.dir/topo/multi_hop.cpp.o.d"
+  "/root/repo/src/topo/two_tier.cpp" "src/CMakeFiles/trim_topo.dir/topo/two_tier.cpp.o" "gcc" "src/CMakeFiles/trim_topo.dir/topo/two_tier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trim_topo.dir/topo/fat_tree.cpp.o"
+  "CMakeFiles/trim_topo.dir/topo/fat_tree.cpp.o.d"
+  "CMakeFiles/trim_topo.dir/topo/many_to_one.cpp.o"
+  "CMakeFiles/trim_topo.dir/topo/many_to_one.cpp.o.d"
+  "CMakeFiles/trim_topo.dir/topo/multi_hop.cpp.o"
+  "CMakeFiles/trim_topo.dir/topo/multi_hop.cpp.o.d"
+  "CMakeFiles/trim_topo.dir/topo/two_tier.cpp.o"
+  "CMakeFiles/trim_topo.dir/topo/two_tier.cpp.o.d"
+  "libtrim_topo.a"
+  "libtrim_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trim_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_stats_test.dir/stats/flow_stats_test.cpp.o"
+  "CMakeFiles/flow_stats_test.dir/stats/flow_stats_test.cpp.o.d"
+  "flow_stats_test"
+  "flow_stats_test.pdb"
+  "flow_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

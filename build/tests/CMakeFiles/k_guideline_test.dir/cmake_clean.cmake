@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k_guideline_test.dir/core/k_guideline_test.cpp.o"
+  "CMakeFiles/k_guideline_test.dir/core/k_guideline_test.cpp.o.d"
+  "k_guideline_test"
+  "k_guideline_test.pdb"
+  "k_guideline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k_guideline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

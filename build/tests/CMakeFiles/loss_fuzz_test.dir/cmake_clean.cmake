@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_fuzz_test.dir/property/loss_fuzz_test.cpp.o"
+  "CMakeFiles/loss_fuzz_test.dir/property/loss_fuzz_test.cpp.o.d"
+  "loss_fuzz_test"
+  "loss_fuzz_test.pdb"
+  "loss_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_sender_test.dir/tcp/tcp_sender_test.cpp.o"
+  "CMakeFiles/tcp_sender_test.dir/tcp/tcp_sender_test.cpp.o.d"
+  "tcp_sender_test"
+  "tcp_sender_test.pdb"
+  "tcp_sender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_sender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/trim_algorithm_test.cpp" "tests/CMakeFiles/trim_algorithm_test.dir/core/trim_algorithm_test.cpp.o" "gcc" "tests/CMakeFiles/trim_algorithm_test.dir/core/trim_algorithm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trim_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trim_algorithm_test.dir/core/trim_algorithm_test.cpp.o"
+  "CMakeFiles/trim_algorithm_test.dir/core/trim_algorithm_test.cpp.o.d"
+  "trim_algorithm_test"
+  "trim_algorithm_test.pdb"
+  "trim_algorithm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trim_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trim_sender_test.dir/core/trim_sender_test.cpp.o"
+  "CMakeFiles/trim_sender_test.dir/core/trim_sender_test.cpp.o.d"
+  "trim_sender_test"
+  "trim_sender_test.pdb"
+  "trim_sender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trim_sender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/time_test[1]_include.cmake")
+include("/root/repo/build/tests/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_test[1]_include.cmake")
+include("/root/repo/build/tests/link_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/rtt_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_sender_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_transfer_test[1]_include.cmake")
+include("/root/repo/build/tests/variants_test[1]_include.cmake")
+include("/root/repo/build/tests/k_guideline_test[1]_include.cmake")
+include("/root/repo/build/tests/trim_sender_test[1]_include.cmake")
+include("/root/repo/build/tests/http_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/red_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/d2tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_csv_test[1]_include.cmake")
+include("/root/repo/build/tests/loss_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/trim_algorithm_test[1]_include.cmake")
