@@ -4,13 +4,37 @@
 // be run on a laptop.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "core/sender_factory.hpp"
 #include "exp/experiment.hpp"
+#include "exp/large_scale_scenario.hpp"
+#include "exp/parallel_runner.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "topo/many_to_one.hpp"
 
 using namespace trim;
+
+// Global allocation counter: every operator new in the process ticks it.
+// The allocation benchmarks snapshot it around the measured region to
+// prove the event path stays heap-free in steady state.
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -56,6 +80,59 @@ void BM_EventCancellation(benchmark::State& state) {
 }
 BENCHMARK(BM_EventCancellation);
 
+// The per-ACK pattern TCP senders generate: every ACK cancels the pending
+// RTO timer and schedules a new one further out, against a backlog of
+// other flows' timers. With lazy cancellation each round grew the
+// tombstone set; the index-tracked heap removes entries for real.
+void BM_RtoReschedule(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  sim::EventQueue q;
+  std::vector<sim::EventId> timers(flows);
+  std::int64_t t = 0;
+  for (int f = 0; f < flows; ++f) {
+    timers[f] = q.push(sim::SimTime::nanos(t + 200 + f), [] {});
+  }
+  int f = 0;
+  for (auto _ : state) {
+    ++t;
+    q.cancel(timers[f]);
+    timers[f] = q.push(sim::SimTime::nanos(t + 200 + f), [] {});
+    f = (f + 1) % flows;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RtoReschedule)->Arg(100)->Arg(10000);
+
+// Steady-state allocation count of the schedule/dispatch cycle: a churning
+// queue with Packet-sized captures must stop allocating once its pools are
+// warm. Reported as allocations per push+pop pair (expected: 0).
+void BM_EventPathAllocations(benchmark::State& state) {
+  struct FakePacketCapture {  // same footprint as the link pipeline's capture
+    unsigned char bytes[56];
+    void* link;
+  };
+  sim::EventQueue q;
+  FakePacketCapture cap{};
+  std::int64_t t = 0;
+  for (int i = 0; i < 64; ++i) {  // warm the slot pool and heap vector
+    q.push(sim::SimTime::nanos(++t), [cap] { benchmark::DoNotOptimize(&cap); });
+  }
+  std::uint64_t ops = 0;
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    q.push(sim::SimTime::nanos(++t), [cap] { benchmark::DoNotOptimize(&cap); });
+    auto popped = q.pop();
+    popped.cb();
+    ++ops;
+  }
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  state.counters["allocs_per_op"] =
+      benchmark::Counter(static_cast<double>(after - before) /
+                         static_cast<double>(ops == 0 ? 1 : ops));
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_EventPathAllocations);
+
 // Full-stack cost: an N-to-1 incast of 1 MB flows; reports simulated
 // packets per wall second.
 void BM_IncastEndToEnd(benchmark::State& state) {
@@ -82,6 +159,39 @@ void BM_IncastEndToEnd(benchmark::State& state) {
   state.SetLabel("simulated packets (data+ack)");
 }
 BENCHMARK(BM_IncastEndToEnd)->Arg(5)->Arg(20);
+
+// Wall-clock scaling of the parallel sweep runner: a fixed batch of eight
+// small Fig. 8-style runs executed at the given worker width. Compare the
+// jobs=1 and jobs=hw rows for the speedup (on an N-core box the batch
+// time should drop ~Nx until width exceeds cores). Output order is
+// deterministic at every width, so the checksum is width-invariant.
+void BM_ParallelSweep(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  std::vector<exp::LargeScaleConfig> cfgs;
+  for (int i = 0; i < 8; ++i) {
+    exp::LargeScaleConfig cfg;
+    cfg.num_switches = 2;
+    cfg.servers_per_switch = 21;
+    cfg.spt_window = sim::SimTime::seconds(0.2);
+    cfg.drain = sim::SimTime::seconds(0.3);
+    cfg.protocol = i % 2 == 0 ? tcp::Protocol::kReno : tcp::Protocol::kTrim;
+    cfg.seed = exp::run_seed(0xBE4C, i);
+    cfgs.push_back(cfg);
+  }
+  double checksum = 0;
+  for (auto _ : state) {
+    std::vector<exp::LargeScaleResult> results(cfgs.size());
+    exp::for_each_index(cfgs.size(), jobs, [&](std::size_t i) {
+      results[i] = run_large_scale(cfgs[i]);
+    });
+    checksum = 0;
+    for (const auto& r : results) checksum += r.spt_act_ms;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["sweep_act_sum_ms"] = benchmark::Counter(checksum);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(cfgs.size()));
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 

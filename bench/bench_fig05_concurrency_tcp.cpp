@@ -19,19 +19,33 @@ int main() {
       exp::quick_mode() ? std::vector<int>{2, 6, 10} : std::vector<int>{1, 2, 4, 6, 8, 10, 12};
   const int reps = exp::repeats(3, 1);
 
-  stats::Table table{{"#SPT servers", "#LPTs", "ACT (ms)", "min (ms)", "max (ms)",
-                      "SPT timeouts"}};
+  // All runs are independent: build the full sweep up front and fan it
+  // out across REPRO_JOBS workers. Results come back in submission order,
+  // so the table is bit-identical to the serial loop.
+  std::vector<exp::ConcurrencyConfig> cfgs;
   for (int lpts : {0, 1, 2}) {
     for (int spts : spt_counts) {
-      stats::Summary act, mn, mx;
-      std::uint64_t timeouts = 0;
       for (int rep = 0; rep < reps; ++rep) {
         exp::ConcurrencyConfig cfg;
         cfg.protocol = tcp::Protocol::kReno;
         cfg.num_spt_servers = spts;
         cfg.num_lpt_servers = lpts;
         cfg.seed = exp::run_seed(0x0500 + lpts, rep * 100 + spts);
-        const auto r = run_concurrency(cfg);
+        cfgs.push_back(cfg);
+      }
+    }
+  }
+  const auto results = run_concurrency_batch(cfgs);
+
+  stats::Table table{{"#SPT servers", "#LPTs", "ACT (ms)", "min (ms)", "max (ms)",
+                      "SPT timeouts"}};
+  std::size_t next = 0;
+  for (int lpts : {0, 1, 2}) {
+    for (int spts : spt_counts) {
+      stats::Summary act, mn, mx;
+      std::uint64_t timeouts = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto& r = results[next++];
         act.add(r.act_ms);
         mn.add(r.min_ms);
         mx.add(r.max_ms);

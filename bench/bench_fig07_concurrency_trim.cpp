@@ -19,24 +19,35 @@ int main() {
       exp::quick_mode() ? std::vector<int>{2, 6, 10} : std::vector<int>{1, 2, 4, 6, 8, 10, 12};
   const int reps = exp::repeats(3, 1);
 
-  stats::Table table{{"#SPT servers", "TCP ACT (ms)", "TRIM ACT (ms)", "ratio",
-                      "TCP timeouts", "TRIM timeouts"}};
+  // Independent runs: fan the whole TCP/TRIM sweep out across REPRO_JOBS
+  // workers, then consume results in the identical submission order.
+  std::vector<exp::ConcurrencyConfig> cfgs;
   for (int spts : spt_counts) {
-    stats::Summary tcp_act, trim_act;
-    std::uint64_t tcp_to = 0, trim_to = 0;
     for (int rep = 0; rep < reps; ++rep) {
       exp::ConcurrencyConfig cfg;
       cfg.num_spt_servers = spts;
       cfg.num_lpt_servers = 2;
       cfg.seed = exp::run_seed(0x0700, rep * 100 + spts);
-
       cfg.protocol = tcp::Protocol::kReno;
-      const auto tcp_r = run_concurrency(cfg);
+      cfgs.push_back(cfg);
+      cfg.protocol = tcp::Protocol::kTrim;
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = run_concurrency_batch(cfgs);
+
+  stats::Table table{{"#SPT servers", "TCP ACT (ms)", "TRIM ACT (ms)", "ratio",
+                      "TCP timeouts", "TRIM timeouts"}};
+  std::size_t next = 0;
+  for (int spts : spt_counts) {
+    stats::Summary tcp_act, trim_act;
+    std::uint64_t tcp_to = 0, trim_to = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto& tcp_r = results[next++];
       tcp_act.add(tcp_r.act_ms);
       tcp_to += tcp_r.spt_timeouts;
 
-      cfg.protocol = tcp::Protocol::kTrim;
-      const auto trim_r = run_concurrency(cfg);
+      const auto& trim_r = results[next++];
       trim_act.add(trim_r.act_ms);
       trim_to += trim_r.spt_timeouts;
     }

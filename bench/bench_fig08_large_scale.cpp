@@ -18,6 +18,27 @@ int main() {
       exp::quick_mode() ? std::vector<int>{5, 15, 25} : std::vector<int>{5, 10, 15, 20, 25};
   const int reps = exp::repeats(3, 1);
 
+  // The full sweep (both spacings, all scales, TCP and TRIM) is one batch
+  // of independent runs fanned across REPRO_JOBS workers; results return
+  // in submission order, so the tables match the serial loop bit for bit.
+  std::vector<exp::LargeScaleConfig> cfgs;
+  for (auto spacing : {exp::SptSpacing::kUniform, exp::SptSpacing::kExponential}) {
+    for (int sw : switch_counts) {
+      for (int rep = 0; rep < reps; ++rep) {
+        exp::LargeScaleConfig cfg;
+        cfg.num_switches = sw;
+        cfg.spacing = spacing;
+        cfg.seed = exp::run_seed(0x0800 + static_cast<int>(spacing), rep * 100 + sw);
+        cfg.protocol = tcp::Protocol::kReno;
+        cfgs.push_back(cfg);
+        cfg.protocol = tcp::Protocol::kTrim;
+        cfgs.push_back(cfg);
+      }
+    }
+  }
+  const auto results = run_large_scale_batch(cfgs);
+
+  std::size_t next = 0;
   for (auto spacing : {exp::SptSpacing::kUniform, exp::SptSpacing::kExponential}) {
     std::printf("SPT start-time distribution: %s\n",
                 spacing == exp::SptSpacing::kUniform ? "uniform" : "exponential");
@@ -26,18 +47,11 @@ int main() {
     for (int sw : switch_counts) {
       stats::Summary tcp_act, trim_act, tcp_max, trim_max;
       for (int rep = 0; rep < reps; ++rep) {
-        exp::LargeScaleConfig cfg;
-        cfg.num_switches = sw;
-        cfg.spacing = spacing;
-        cfg.seed = exp::run_seed(0x0800 + static_cast<int>(spacing), rep * 100 + sw);
-
-        cfg.protocol = tcp::Protocol::kReno;
-        const auto tcp_r = run_large_scale(cfg);
+        const auto& tcp_r = results[next++];
         tcp_act.add(tcp_r.spt_act_ms);
         tcp_max.add(tcp_r.spt_max_ms);
 
-        cfg.protocol = tcp::Protocol::kTrim;
-        const auto trim_r = run_large_scale(cfg);
+        const auto& trim_r = results[next++];
         trim_act.add(trim_r.spt_act_ms);
         trim_max.add(trim_r.spt_max_ms);
       }

@@ -21,6 +21,24 @@ int main() {
   const tcp::Protocol protocols[] = {tcp::Protocol::kReno, tcp::Protocol::kDctcp,
                                      tcp::Protocol::kL2dct, tcp::Protocol::kTrim};
 
+  // One batch of independent runs across all pod counts and protocols,
+  // fanned out over REPRO_JOBS workers; consumed in submission order so
+  // every table matches the serial loop bit for bit.
+  std::vector<exp::FattreeConfig> cfgs;
+  for (int pods : pod_counts) {
+    for (auto proto : protocols) {
+      for (int rep = 0; rep < reps; ++rep) {
+        exp::FattreeConfig cfg;
+        cfg.protocol = proto;
+        cfg.pods = pods;
+        cfg.seed = exp::run_seed(0x1200, rep * 100 + pods);
+        cfgs.push_back(cfg);
+      }
+    }
+  }
+  const auto results = run_fattree_batch(cfgs);
+
+  std::size_t next = 0;
   for (int pods : pod_counts) {
     stats::Table table{{"protocol", "mean completion (ms)", "max completion (ms)",
                         "unfinished"}};
@@ -28,11 +46,7 @@ int main() {
       stats::Summary mean_ms, max_ms;
       int unfinished = 0;
       for (int rep = 0; rep < reps; ++rep) {
-        exp::FattreeConfig cfg;
-        cfg.protocol = proto;
-        cfg.pods = pods;
-        cfg.seed = exp::run_seed(0x1200, rep * 100 + pods);
-        const auto r = run_fattree(cfg);
+        const auto& r = results[next++];
         mean_ms.add(r.mean_completion_ms);
         max_ms.add(r.max_completion_ms);
         unfinished += r.total_servers - r.completed_servers;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "exp/parallel_runner.hpp"
 #include "http/lpt_source.hpp"
 #include "stats/summary.hpp"
 #include "topo/many_to_one.hpp"
@@ -85,6 +86,11 @@ ConcurrencyResult run_concurrency(const ConcurrencyConfig& cfg) {
     result.max_ms = summary.max();
   }
   return result;
+}
+
+std::vector<ConcurrencyResult> run_concurrency_batch(
+    const std::vector<ConcurrencyConfig>& cfgs) {
+  return run_parallel(cfgs, run_concurrency);
 }
 
 }  // namespace trim::exp

@@ -6,6 +6,10 @@
 //   REPRO_REPEATS   repeat count multiplier override for sweep benches
 //   REPRO_QUICK     "1" shrinks repeats/scales so the full bench suite
 //                   finishes in a couple of minutes
+//   REPRO_JOBS      worker threads for the *_batch sweep runners (see
+//                   exp/parallel_runner.hpp); default hw_concurrency,
+//                   "1" restores the serial path. Output is bit-identical
+//                   at any width (docs/ENGINE.md, "Determinism").
 #pragma once
 
 #include <cstdint>

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "exp/parallel_runner.hpp"
 #include "stats/summary.hpp"
 #include "topo/fat_tree.hpp"
 
@@ -72,6 +73,11 @@ FattreeResult run_fattree(const FattreeConfig& cfg) {
   }
   result.drops = world.network.total_drops();
   return result;
+}
+
+std::vector<FattreeResult> run_fattree_batch(
+    const std::vector<FattreeConfig>& cfgs) {
+  return run_parallel(cfgs, run_fattree);
 }
 
 }  // namespace trim::exp

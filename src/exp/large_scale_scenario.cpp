@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "exp/parallel_runner.hpp"
 #include "http/lpt_source.hpp"
 #include "http/train_workload.hpp"
 #include "stats/summary.hpp"
@@ -83,6 +84,11 @@ LargeScaleResult run_large_scale(const LargeScaleConfig& cfg) {
   }
   result.drops = world.network.total_drops();
   return result;
+}
+
+std::vector<LargeScaleResult> run_large_scale_batch(
+    const std::vector<LargeScaleConfig>& cfgs) {
+  return run_parallel(cfgs, run_large_scale);
 }
 
 }  // namespace trim::exp

@@ -1,0 +1,62 @@
+#include "exp/parallel_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace trim::exp {
+
+int parse_jobs(const char* env, int fallback) {
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const long n = std::strtol(env, &end, 10);
+  if (end == env || n <= 0) return fallback;
+  return static_cast<int>(n);
+}
+
+int parallel_jobs() {
+  static const int jobs = [] {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    return parse_jobs(std::getenv("REPRO_JOBS"), hw > 0 ? hw : 1);
+  }();
+  return jobs;
+}
+
+void for_each_index(std::size_t count, int jobs,
+                    const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (jobs <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock{error_mu};
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t width =
+      std::min(static_cast<std::size_t>(jobs), count);
+  std::vector<std::thread> pool;
+  pool.reserve(width - 1);
+  for (std::size_t t = 1; t < width; ++t) pool.emplace_back(worker);
+  worker();  // the caller is the pool's first worker
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace trim::exp

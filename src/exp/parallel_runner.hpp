@@ -1,0 +1,47 @@
+// Fans independent experiment runs across a fixed pool of worker threads.
+//
+// Every task owns an isolated World (Simulator + Network) seeded by the
+// process-stable run_seed(), so runs share no mutable state and results
+// depend only on the per-task config — never on scheduling. Workers claim
+// tasks from an atomic cursor (no work stealing; tasks are coarse, a full
+// simulation each) and write results into a pre-sized vector at the task's
+// submission index, so gathered output is bit-identical to a serial loop.
+//
+// The pool width comes from the REPRO_JOBS env knob: unset or <= 0 means
+// hardware concurrency, REPRO_JOBS=1 restores the serial path (tasks run
+// inline on the calling thread — no threads are created). Determinism
+// contract in docs/ENGINE.md.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace trim::exp {
+
+// Worker count from REPRO_JOBS (read once; default hw_concurrency, min 1).
+int parallel_jobs();
+// Parsing helper, exposed for tests: nullptr / non-numeric / <= 0 -> fallback.
+int parse_jobs(const char* env, int fallback);
+
+// Invoke fn(0) .. fn(count-1) across `jobs` workers; blocks until all
+// complete. With jobs <= 1 (or a single task) runs inline on the caller.
+// The first exception thrown by any task is rethrown here after the pool
+// joins; remaining tasks still run (simulations don't throw in practice).
+void for_each_index(std::size_t count, int jobs,
+                    const std::function<void(std::size_t)>& fn);
+
+// Run `make_result(cfg)` for every config, REPRO_JOBS-wide, returning
+// results in submission order.
+template <typename Config, typename Fn>
+auto run_parallel(const std::vector<Config>& configs, Fn&& make_result)
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, const Config&>>> {
+  using Result = std::decay_t<std::invoke_result_t<Fn&, const Config&>>;
+  std::vector<Result> results(configs.size());
+  for_each_index(configs.size(), parallel_jobs(),
+                 [&](std::size_t i) { results[i] = make_result(configs[i]); });
+  return results;
+}
+
+}  // namespace trim::exp

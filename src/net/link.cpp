@@ -21,18 +21,23 @@ Link::Link(sim::Simulator* sim, std::string name, std::uint64_t bits_per_sec,
   }
 }
 
-void Link::send(Packet p) {
-  if (tap_ != nullptr) {
-    // Record outcome-aware: peek whether the queue accepts it.
-    Packet copy = p;
-    if (!queue_->enqueue(std::move(p))) {
-      tap_->record(PacketEvent::kDropped, copy, sim_->now());
-      return;
-    }
-    tap_->record(PacketEvent::kEnqueued, copy, sim_->now());
-  } else if (!queue_->enqueue(std::move(p))) {
-    return;  // dropped at the tail
+void Link::set_tap(TraceTap* tap) {
+  tap_ = tap;
+  if (tap != nullptr) {
+    queue_->set_drop_callback([this](const Packet& p) {
+      tap_->record(PacketEvent::kDropped, p, sim_->now());
+    });
+  } else {
+    queue_->set_drop_callback({});
   }
+}
+
+void Link::send(Packet p) {
+  // Drops are recorded via the queue's drop callback (set_tap), so the
+  // accept path never copies the packet; on success the tap reads the
+  // header back from the queue's tail.
+  if (!queue_->enqueue(std::move(p))) return;
+  if (tap_ != nullptr) tap_->record(PacketEvent::kEnqueued, queue_->tail(), sim_->now());
   if (!busy_) start_transmission();
 }
 
@@ -41,9 +46,12 @@ void Link::start_transmission() {
   if (!popped) return;
   busy_ = true;
   const auto tx = sim::transmission_time(popped->size_bytes(), bps_);
-  sim_->schedule(tx, [this, p = std::move(*popped)]() mutable {
+  auto done = [this, p = std::move(*popped)]() mutable {
     on_transmit_done(std::move(p));
-  });
+  };
+  // Two of these fire per packet per hop; they must stay allocation-free.
+  static_assert(sizeof(done) <= sim::InlineCallback::kInlineBytes);
+  sim_->schedule(tx, std::move(done));
 }
 
 void Link::on_transmit_done(Packet p) {
@@ -56,9 +64,11 @@ void Link::on_transmit_done(Packet p) {
   if (tap_ != nullptr) tap_->record(PacketEvent::kDelivered, p, sim_->now());
 
   assert(peer_ != nullptr && "Link::send before set_peer");
-  sim_->schedule(delay_, [peer = peer_, p = std::move(p)]() mutable {
+  auto arrive = [peer = peer_, p = std::move(p)]() mutable {
     peer->receive(std::move(p));
-  });
+  };
+  static_assert(sizeof(arrive) <= sim::InlineCallback::kInlineBytes);
+  sim_->schedule(delay_, std::move(arrive));
 
   if (!queue_->empty()) start_transmission();
 }

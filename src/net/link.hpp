@@ -45,8 +45,10 @@ class Link {
   // Optional throughput instrumentation; counts bytes at delivery time.
   void set_delivery_meter(stats::RateMeter* meter) { meter_ = meter; }
 
-  // Optional packet-event observer (see net/trace_tap.hpp).
-  void set_tap(TraceTap* tap) { tap_ = tap; }
+  // Optional packet-event observer (see net/trace_tap.hpp). Installs a
+  // drop callback on the egress queue so drops are recorded without the
+  // send path copying every packet.
+  void set_tap(TraceTap* tap);
 
  private:
   void start_transmission();

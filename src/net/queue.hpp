@@ -45,6 +45,11 @@ class Queue {
   std::uint64_t len_bytes() const { return bytes_; }
   bool empty() const { return fifo_.empty(); }
 
+  // Most recently enqueued packet (every implementation appends at the
+  // tail). Queue must not be empty. Lets observers read the packet just
+  // accepted by enqueue() without the caller keeping a copy.
+  const Packet& tail() const { return fifo_.back(); }
+
   const QueueStats& stats() const { return stats_; }
 
   // Optional instrumentation: occupancy trace (sampled on every enqueue /

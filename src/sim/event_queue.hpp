@@ -1,48 +1,65 @@
-// Binary-heap event queue with stable ordering and lazy cancellation.
+// Index-tracked 4-ary heap event queue with generation-tagged slots.
+//
+// Events live in a slot pool; the heap orders slot indices by
+// (time, insertion sequence) so equal-time events dispatch in insertion
+// order, which keeps packet pipelines deterministic. Each slot carries a
+// generation counter that is bumped every time the slot is released (fired
+// or cancelled); an EventId is (slot, generation), so cancel() on a stale
+// id — already fired, already cancelled, or a recycled slot — is a no-op
+// by construction. Live cancellation removes the entry from the heap in
+// O(log n); there is no tombstone set, so size() is exact and pop() never
+// skips entries.
+//
+// Steady state allocates nothing: released slots go on an intrusive free
+// list, the heap is a plain index vector, and callbacks are stored in
+// InlineCallback's in-place buffer. See docs/ENGINE.md for the lifecycle.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_callback.hpp"
 #include "sim/time.hpp"
 
 namespace trim::sim {
 
-// Opaque handle to a scheduled event; used to cancel timers.
+// Opaque handle to a scheduled event; used to cancel timers. Stale handles
+// (event already fired or cancelled) are harmless.
 class EventId {
  public:
   constexpr EventId() = default;
-  constexpr bool valid() const { return seq_ != 0; }
+  constexpr bool valid() const { return slot_ != kInvalid; }
   constexpr auto operator<=>(const EventId&) const = default;
 
  private:
   friend class EventQueue;
-  constexpr explicit EventId(std::uint64_t seq) : seq_{seq} {}
-  std::uint64_t seq_ = 0;  // 0 == invalid
+  static constexpr std::uint32_t kInvalid = 0xffff'ffff;
+  constexpr EventId(std::uint32_t slot, std::uint32_t gen)
+      : slot_{slot}, gen_{gen} {}
+  std::uint32_t slot_ = kInvalid;
+  std::uint32_t gen_ = 0;
 };
 
-// Priority queue of (time, insertion sequence) -> callback. Events at equal
-// times dispatch in insertion order, which keeps packet pipelines
-// deterministic. Cancellation is lazy: cancelled entries are skipped at pop
-// time, so cancel() is O(1) amortized.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   EventId push(SimTime at, Callback cb);
+
+  // O(log n) true removal. No-op for invalid or stale ids (the generation
+  // tag catches cancel-after-fire and slot reuse).
   void cancel(EventId id);
-  bool is_cancelled(EventId id) const { return cancelled_.contains(id.seq_); }
 
-  bool empty();  // drains leading cancelled entries
-  std::size_t size() const { return heap_.size() - cancelled_.size(); }
+  // True while `id` refers to a scheduled-but-not-yet-fired event.
+  bool is_pending(EventId id) const;
 
-  // Time of the next live event. Queue must not be empty.
-  SimTime next_time();
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
 
-  // Pop and return the next live event's callback. Queue must not be empty.
+  // Time of the next event. Queue must not be empty.
+  SimTime next_time() const;
+
+  // Pop and return the next event's callback. Queue must not be empty.
   struct Popped {
     SimTime at;
     Callback cb;
@@ -52,22 +69,39 @@ class EventQueue {
   void clear();
 
  private:
-  struct Entry {
-    SimTime at;
-    std::uint64_t seq;
+  static constexpr std::uint32_t kNil = 0xffff'ffff;
+
+  struct Slot {
     Callback cb;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    std::uint32_t gen = 0;         // bumped on release; stale-id detector
+    std::uint32_t heap_pos = kNil; // position in heap_, kNil when free
+    std::uint32_t next_free = kNil;
   };
 
-  void drain_cancelled();
+  // The sort key lives in the heap entry itself, so sift comparisons never
+  // touch the slot pool (which only holds the callback + bookkeeping).
+  struct HeapEntry {
+    SimTime at;
+    std::uint64_t seq;  // insertion order, tiebreak at equal times
+    std::uint32_t slot;
+  };
+  static bool before(const HeapEntry& x, const HeapEntry& y) {
+    if (x.at != y.at) return x.at < y.at;
+    return x.seq < y.seq;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  void place(std::uint32_t pos, const HeapEntry& e) {
+    heap_[pos] = e;
+    slots_[e.slot].heap_pos = pos;
+  }
+  void sift_up(std::uint32_t pos, HeapEntry e);
+  void sift_down(std::uint32_t pos, HeapEntry e);
+  void remove_heap_entry(std::uint32_t pos);
+  void release_slot(std::uint32_t idx);
+
+  std::vector<Slot> slots_;
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap on (at, seq)
+  std::uint32_t free_head_ = kNil;
   std::uint64_t next_seq_ = 1;
 };
 

@@ -1,0 +1,133 @@
+// Move-only type-erased `void()` callable with a small-buffer optimization
+// sized for the engine's hottest captures: the link pipeline schedules one
+// transmit-done and one propagate event per packet per hop, each capturing
+// a full net::Packet (56 bytes) plus a pointer. std::function's typical
+// 16-byte SBO heap-allocates every one of those; InlineCallback stores any
+// capture up to kInlineBytes in place and touches the heap only for
+// oversized or throwing-move captures (none exist on the hot path —
+// link.cpp static_asserts its lambdas fit).
+//
+// Dispatch goes through a per-type operations table (invoke / relocate /
+// destroy) instead of a vtable so the object stays trivially sized and
+// relocation is a single indirect call. See docs/ENGINE.md.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace trim::sim {
+
+class InlineCallback {
+ public:
+  // 56-byte Packet + two pointers + slack; keeps the event-queue slot a
+  // power-of-two 128 bytes (88 + ops pointer + slot bookkeeping).
+  static constexpr std::size_t kInlineBytes = 88;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // True when the callable lives on the heap (oversized capture).
+  bool heap_allocated() const { return ops_ != nullptr && ops_->heap; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-construct into `dst` from `src`, then destroy `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+    bool heap;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline =
+      sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static Fn* as(void* storage) {
+    return std::launder(reinterpret_cast<Fn*>(storage));
+  }
+  template <typename Fn>
+  static Fn** as_ptr(void* storage) {
+    return std::launder(reinterpret_cast<Fn**>(storage));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* s) { (*as<Fn>(s))(); },
+      [](void* dst, void* src) {
+        Fn* f = as<Fn>(src);
+        ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](void* s) { as<Fn>(s)->~Fn(); },
+      /*heap=*/false,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* s) { (**as_ptr<Fn>(s))(); },
+      [](void* dst, void* src) { ::new (dst) Fn*(*as_ptr<Fn>(src)); },
+      [](void* s) { delete *as_ptr<Fn>(s); },
+      /*heap=*/true,
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  void move_from(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace trim::sim

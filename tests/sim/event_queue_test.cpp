@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -76,6 +79,99 @@ TEST(EventQueue, PopReturnsTimestamp) {
   EventQueue q;
   q.push(SimTime::micros(42), [] {});
   EXPECT_EQ(q.pop().at, SimTime::micros(42));
+}
+
+// Regression: cancelling an id whose event already fired used to insert a
+// tombstone that never drained, permanently skewing size() (the old
+// heap_.size() - cancelled_.size() underflowed a size_t). The
+// generation-tagged heap makes stale cancels a no-op by construction.
+TEST(EventQueue, CancelAfterFireIsNoOpAndSizeStaysExact) {
+  EventQueue q;
+  const auto fired = q.push(SimTime::micros(1), [] {});
+  q.push(SimTime::micros(2), [] {});
+  q.pop().cb();          // `fired` has dispatched
+  q.cancel(fired);       // stale: must not affect anything
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.pop();
+  q.cancel(fired);       // still harmless on an empty queue
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+// A stale id must not cancel the new occupant of a recycled slot.
+TEST(EventQueue, StaleIdDoesNotCancelRecycledSlot) {
+  EventQueue q;
+  const auto old_id = q.push(SimTime::micros(1), [] {});
+  q.pop();  // releases the slot; `old_id` is now stale
+  int fired = 0;
+  q.push(SimTime::micros(2), [&] { ++fired; });  // reuses the slot
+  q.cancel(old_id);
+  ASSERT_EQ(q.size(), 1u);
+  q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, IsPendingTracksLifecycle) {
+  EventQueue q;
+  EXPECT_FALSE(q.is_pending(EventId{}));
+  const auto a = q.push(SimTime::micros(1), [] {});
+  const auto b = q.push(SimTime::micros(2), [] {});
+  EXPECT_TRUE(q.is_pending(a));
+  EXPECT_TRUE(q.is_pending(b));
+  q.cancel(b);
+  EXPECT_FALSE(q.is_pending(b));
+  q.pop();
+  EXPECT_FALSE(q.is_pending(a));
+}
+
+TEST(EventQueue, CancelInteriorEntryKeepsDispatchOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(q.push(SimTime::micros(i), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 64; i += 3) q.cancel(ids[i]);
+  EXPECT_EQ(q.size(), 64u - 21u);
+  int prev = -1;
+  while (!q.empty()) q.pop().cb();
+  for (const int i : order) {
+    EXPECT_GT(i, prev);
+    EXPECT_NE(i % 3, 1);
+    prev = i;
+  }
+}
+
+TEST(EventQueue, RandomizedCancelStressMatchesReferenceModel) {
+  EventQueue q;
+  std::vector<std::pair<std::int64_t, EventId>> live;  // (time, id)
+  std::uint64_t x = 987654321;
+  auto rnd = [&x] {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return x >> 33;
+  };
+  std::multiset<std::int64_t> expected;
+  for (int round = 0; round < 20000; ++round) {
+    const auto action = rnd() % 3;
+    if (action != 0 || live.empty()) {
+      const auto at = static_cast<std::int64_t>(rnd() % 1'000'000);
+      live.emplace_back(at, q.push(SimTime::nanos(at), [] {}));
+      expected.insert(at);
+    } else {
+      const auto pick = rnd() % live.size();
+      q.cancel(live[pick].second);
+      expected.erase(expected.find(live[pick].first));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_EQ(q.size(), expected.size());
+  }
+  // Everything left must drain in exactly the reference order.
+  for (const auto at : expected) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.pop().at, SimTime::nanos(at));
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(EventQueue, ManyEventsStressOrdering) {
