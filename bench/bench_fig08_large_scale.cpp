@@ -1,8 +1,10 @@
 // Fig. 8 — large-scale two-tier topology (210..1050 servers): SPT average
 // completion time, TCP vs TCP-TRIM, uniform and exponential SPT spacing.
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "exp/experiment.hpp"
 #include "exp/large_scale_scenario.hpp"
 #include "stats/summary.hpp"
@@ -36,7 +38,15 @@ int main() {
       }
     }
   }
+  const auto t0 = std::chrono::steady_clock::now();
   const auto results = run_large_scale_batch(cfgs);
+  const double batch_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  // Machine-readable perf record for CI artifacts; stdout is unchanged.
+  bench::BenchJson json{"fig08_large_scale"};
+  json.add("large_scale_batch", static_cast<double>(cfgs.size()) / batch_wall,
+           {{"runs", static_cast<double>(cfgs.size())},
+            {"wall_seconds", batch_wall}});
 
   std::size_t next = 0;
   for (auto spacing : {exp::SptSpacing::kUniform, exp::SptSpacing::kExponential}) {

@@ -1,9 +1,12 @@
 // Helpers shared by the figure-reproduction binaries.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/experiment.hpp"
@@ -11,6 +14,66 @@
 #include "stats/time_series.hpp"
 
 namespace trim::bench {
+
+// Peak resident set size of this process so far, in bytes (Linux
+// ru_maxrss is reported in kilobytes).
+inline double peak_rss_bytes() {
+  rusage ru{};
+  ::getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) * 1024.0;
+}
+
+// Machine-readable bench results: collects (scenario, items/sec, metrics)
+// rows and writes them as `BENCH_<name>.json` so the perf trajectory can
+// be tracked across PRs (CI uploads these as artifacts). The file lands in
+// $BENCH_JSON_DIR when set, else the current directory. Human-readable
+// stdout output is unaffected.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_{std::move(name)} {}
+  ~BenchJson() { write(); }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void add(std::string scenario, double items_per_sec,
+           std::vector<std::pair<std::string, double>> metrics = {}) {
+    rows_.push_back({std::move(scenario), items_per_sec, std::move(metrics)});
+  }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    std::string dir = ".";
+    if (const char* env = std::getenv("BENCH_JSON_DIR")) dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;  // benches must not fail on read-only dirs
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"peak_rss_bytes\": %.0f,\n",
+                 name_.c_str(), peak_rss_bytes());
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const auto& r = rows_[i];
+      std::fprintf(f, "    {\"scenario\": \"%s\", \"items_per_sec\": %.6g",
+                   r.scenario.c_str(), r.items_per_sec);
+      for (const auto& [k, v] : r.metrics) {
+        std::fprintf(f, ", \"%s\": %.6g", k.c_str(), v);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Row {
+    std::string scenario;
+    double items_per_sec;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
 
 // Render a (downsampled) time series as compact "t=..s v=.." rows — the
 // textual stand-in for the paper's line plots.

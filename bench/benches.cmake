@@ -29,6 +29,8 @@ trim_bench(bench_ablation_trim)
 trim_bench(bench_engine_micro)
 target_link_libraries(bench_engine_micro PRIVATE benchmark::benchmark)
 
+trim_bench(bench_flow_datapath)
+
 trim_bench(bench_related_delay)
 trim_bench(bench_model_validation)
 trim_bench(bench_persistent_connections)

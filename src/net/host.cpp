@@ -9,12 +9,32 @@ namespace trim::net {
 
 void Host::register_agent(FlowId flow, Agent* agent) {
   if (agent == nullptr) throw std::invalid_argument("Host::register_agent: null agent");
-  const auto [it, inserted] = agents_.emplace(flow, agent);
-  (void)it;
-  if (!inserted) throw std::logic_error("Host::register_agent: duplicate flow id");
+  if (agents_.empty()) {
+    flow_base_ = flow;
+    agents_.push_back(nullptr);
+  } else if (flow < flow_base_) {
+    // Grow downward (rare: ids are handed out in increasing order).
+    agents_.insert(agents_.begin(), flow_base_ - flow, nullptr);
+    flow_base_ = flow;
+  } else if (flow - flow_base_ >= agents_.size()) {
+    agents_.resize(flow - flow_base_ + 1, nullptr);
+  }
+  Agent*& slot = agents_[flow - flow_base_];
+  if (slot != nullptr) throw std::logic_error("Host::register_agent: duplicate flow id");
+  slot = agent;
+  ++agent_count_;
 }
 
-void Host::unregister_agent(FlowId flow) { agents_.erase(flow); }
+void Host::unregister_agent(FlowId flow) {
+  if (agents_.empty() || flow < flow_base_ || flow - flow_base_ >= agents_.size()) return;
+  Agent*& slot = agents_[flow - flow_base_];
+  if (slot == nullptr) return;
+  slot = nullptr;
+  if (--agent_count_ == 0) {
+    agents_.clear();
+    agents_.shrink_to_fit();
+  }
+}
 
 void Host::send(Packet p) {
   if (out_links_.empty()) throw std::logic_error("Host::send: no uplink attached");
@@ -25,14 +45,17 @@ void Host::send(Packet p) {
 }
 
 void Host::receive(Packet p) {
-  const auto it = agents_.find(p.flow);
-  if (it == agents_.end()) {
+  Agent* agent = nullptr;
+  if (p.flow >= flow_base_ && p.flow - flow_base_ < agents_.size()) {
+    agent = agents_[p.flow - flow_base_];
+  }
+  if (agent == nullptr) {
     ++unroutable_;
     TRIM_LOG(sim::LogLevel::kDebug, sim_, "host %s: no agent for %s", name_.c_str(),
              p.describe().c_str());
     return;
   }
-  it->second->on_packet(p);
+  agent->on_packet(p);
 }
 
 }  // namespace trim::net

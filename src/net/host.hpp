@@ -3,7 +3,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "net/node.hpp"
 
@@ -32,7 +32,13 @@ class Host : public Node {
   std::uint64_t unroutable_packets() const { return unroutable_; }
 
  private:
-  std::unordered_map<FlowId, Agent*> agents_;
+  // Dense dispatch table: slot [flow - flow_base_] holds the agent. Flow
+  // ids are handed out sequentially per experiment, so the table is a flat
+  // array and the receive hot path is one bounds check plus one indexed
+  // load — no hashing per packet.
+  std::vector<Agent*> agents_;
+  FlowId flow_base_ = 0;
+  std::size_t agent_count_ = 0;
   std::uint64_t unroutable_ = 0;
   std::uint64_t uid_counter_ = 0;
 };

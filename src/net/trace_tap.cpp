@@ -19,37 +19,53 @@ void TraceTap::attach(Link& link) { link.set_tap(this); }
 
 void TraceTap::record(PacketEvent event, const Packet& p, sim::SimTime now) {
   if (flow_filter_ != 0 && p.flow != flow_filter_) return;
-  if (max_entries_ != 0 && entries_.size() >= max_entries_) {
-    entries_.erase(entries_.begin(), entries_.begin() + entries_.size() / 2);
+  ++total_recorded_;
+  if (event == PacketEvent::kDropped) ++dropped_;
+  if (event == PacketEvent::kDelivered) ++delivered_;
+  if (max_entries_ == 0 || ring_.size() < max_entries_) {
+    ring_.push_back({now, event, p});
+    return;
   }
-  entries_.push_back({now, event, p});
+  // Ring is full: overwrite the oldest slot in place.
+  ring_[head_] = {now, event, p};
+  head_ = (head_ + 1) % ring_.size();
 }
 
-std::size_t TraceTap::dropped_count() const {
-  std::size_t n = 0;
-  for (const auto& e : entries_) {
-    if (e.event == PacketEvent::kDropped) ++n;
+void TraceTap::set_max_entries(std::size_t n) {
+  if (n != 0 && ring_.size() > n) {
+    // Keep the most recent n, restored to chronological order.
+    auto snapshot = entries();
+    ring_.assign(snapshot.end() - static_cast<std::ptrdiff_t>(n), snapshot.end());
+    head_ = 0;
+  } else if (head_ != 0) {
+    // Unwrap so future appends (under a larger/removed cap) stay ordered.
+    auto snapshot = entries();
+    ring_ = std::move(snapshot);
+    head_ = 0;
   }
-  return n;
+  max_entries_ = n;
 }
 
-std::size_t TraceTap::delivered_count() const {
-  std::size_t n = 0;
-  for (const auto& e : entries_) {
-    if (e.event == PacketEvent::kDelivered) ++n;
-  }
-  return n;
+const TraceEntry& TraceTap::entry(std::size_t i) const {
+  return ring_[(head_ + i) % ring_.size()];
+}
+
+std::vector<TraceEntry> TraceTap::entries() const {
+  std::vector<TraceEntry> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) out.push_back(entry(i));
+  return out;
 }
 
 std::string TraceTap::render(std::size_t max_lines) const {
   std::string out;
   char buf[192];
-  std::size_t lines = 0;
-  for (const auto& e : entries_) {
-    if (lines++ >= max_lines) {
-      out += "  ... (" + std::to_string(entries_.size() - max_lines) + " more)\n";
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    if (i >= max_lines) {
+      out += "  ... (" + std::to_string(ring_.size() - max_lines) + " more)\n";
       break;
     }
+    const auto& e = entry(i);
     std::snprintf(buf, sizeof buf, "  %.9f %s %s\n", e.at.to_seconds(),
                   to_string(e.event), e.packet.describe().c_str());
     out += buf;

@@ -37,12 +37,23 @@ class TraceTap {
 
   // Optional filter: only record packets of this flow (0 = all flows).
   void set_flow_filter(FlowId flow) { flow_filter_ = flow; }
-  // Cap memory for long runs; oldest entries are discarded (0 = unlimited).
-  void set_max_entries(std::size_t n) { max_entries_ = n; }
+  // Cap memory for long runs with a ring buffer that keeps the most recent
+  // `n` entries (0 = unlimited). Storage is allocated once and reused, so
+  // a bounded tap on a week-long run never grows or reshuffles.
+  void set_max_entries(std::size_t n);
 
-  const std::vector<TraceEntry>& entries() const { return entries_; }
-  std::size_t dropped_count() const;
-  std::size_t delivered_count() const;
+  // Retained entries in chronological order (a snapshot: the backing store
+  // is a ring, so the oldest entry is not necessarily at index 0).
+  std::vector<TraceEntry> entries() const;
+  std::size_t size() const { return ring_.size(); }
+  // i-th retained entry, chronological (0 = oldest still held).
+  const TraceEntry& entry(std::size_t i) const;
+
+  // Cumulative counters over everything ever recorded, including entries
+  // the ring has since discarded. O(1).
+  std::size_t total_recorded() const { return total_recorded_; }
+  std::size_t dropped_count() const { return dropped_; }
+  std::size_t delivered_count() const { return delivered_; }
 
   // Render as "time event DATA/ACK flow seq ..." lines.
   std::string render(std::size_t max_lines = 100) const;
@@ -50,9 +61,15 @@ class TraceTap {
   void record(PacketEvent event, const Packet& p, sim::SimTime now);
 
  private:
-  std::vector<TraceEntry> entries_;
+  // Ring storage: chronological index i lives at (head_ + i) % size when
+  // the ring has wrapped; head_ stays 0 until the cap is first hit.
+  std::vector<TraceEntry> ring_;
+  std::size_t head_ = 0;
   FlowId flow_filter_ = 0;
   std::size_t max_entries_ = 0;
+  std::size_t total_recorded_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t delivered_ = 0;
 };
 
 }  // namespace trim::net

@@ -1,5 +1,18 @@
 // Append-only (time, value) series used for traces such as queue length or
 // congestion-window evolution (paper Figs. 4, 6, 9(a)).
+//
+// Storage is chunked: samples live in fixed-size blocks that are allocated
+// as the series grows, so recording never copies the history the way a
+// reallocating vector would — appends on multi-million-event traces are
+// O(1) worst case, not just amortized. `samples()` still hands out one
+// contiguous span (flattened lazily and cached).
+//
+// For traces that must stay bounded on arbitrarily long runs,
+// `set_decimation_limit` turns the series into an adaptive decimating
+// recorder: when the retained count hits the limit, every other sample is
+// discarded and the keep stride doubles, so memory stays under the limit
+// while the trace keeps covering the whole run at geometrically coarser
+// resolution.
 #pragma once
 
 #include <cstddef>
@@ -17,11 +30,17 @@ class TimeSeries {
     double value;
   };
 
-  void record(sim::SimTime at, double value) { samples_.push_back({at, value}); }
+  void record(sim::SimTime at, double value);
 
-  std::span<const Sample> samples() const { return samples_; }
-  std::size_t size() const { return samples_.size(); }
-  bool empty() const { return samples_.empty(); }
+  // Contiguous view of all retained samples, oldest first.
+  std::span<const Sample> samples() const;
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Bound retained samples to roughly `limit` via adaptive decimation
+  // (0 = retain everything, the default). Intended for always-on
+  // observability traces, not for figure data: decimation drops samples.
+  void set_decimation_limit(std::size_t limit) { decimation_limit_ = limit; }
 
   double max_value() const;
   double min_value() const;
@@ -30,14 +49,35 @@ class TimeSeries {
   // the right integral for queue-length averages.
   double time_weighted_mean() const;
   // Value at time t (step interpolation); samples must be time-ordered.
+  // Empty series: 0.0. Before the first sample: the first value.
   double value_at(sim::SimTime t) const;
 
-  // Downsample to at most `max_points` by keeping every k-th sample; used
-  // when printing long traces.
+  // Downsample to ~`max_points` by keeping every k-th sample plus the
+  // final one (so the trace's endpoint survives); may return max_points+1
+  // samples. `max_points == 0` means no limit (returns a copy).
   TimeSeries downsampled(std::size_t max_points) const;
 
  private:
-  std::vector<Sample> samples_;
+  static constexpr std::size_t kChunk = 4096;
+
+  const Sample& at(std::size_t i) const {
+    return chunks_[i / kChunk][i % kChunk];
+  }
+  void append(sim::SimTime at, double value);
+  // Drop every other retained sample and double the keep stride.
+  void thin();
+
+  std::vector<std::vector<Sample>> chunks_;
+  std::size_t size_ = 0;
+
+  std::size_t decimation_limit_ = 0;
+  std::size_t stride_ = 1;  // record() keeps every stride_-th call
+  std::size_t tick_ = 0;
+
+  // Lazy flatten cache backing samples(); rebuilt only when stale and the
+  // series spans more than one chunk.
+  mutable std::vector<Sample> flat_;
+  mutable bool flat_stale_ = false;
 };
 
 }  // namespace trim::stats

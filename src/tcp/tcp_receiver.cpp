@@ -1,5 +1,6 @@
 #include "tcp/tcp_receiver.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace trim::tcp {
@@ -44,19 +45,17 @@ void TcpReceiver::on_packet(const net::Packet& p) {
     in_order = true;
     std::uint64_t newly = p.payload_bytes;
     ++rcv_next_;
-    // Drain any contiguous out-of-order segments.
-    for (auto it = out_of_order_.begin();
-         it != out_of_order_.end() && it->first == rcv_next_;
-         it = out_of_order_.erase(it)) {
-      newly += it->second;
-      ++rcv_next_;
+    // Drain buffered runs made contiguous by this arrival. Intervals are
+    // non-adjacent, so at most one starts at the new rcv_next_.
+    while (!ooo_.empty() && ooo_.front().begin == rcv_next_) {
+      newly += ooo_.front().bytes;
+      rcv_next_ = ooo_.front().end;
+      ooo_.erase(ooo_.begin());
     }
     delivered_bytes_ += newly;
     if (on_deliver_) on_deliver_(newly);
   } else {
-    const auto [it, inserted] = out_of_order_.emplace(p.seq, p.payload_bytes);
-    (void)it;
-    if (!inserted) ++duplicate_data_packets_;
+    if (!buffer_out_of_order(p.seq, p.payload_bytes)) ++duplicate_data_packets_;
   }
 
   if (!cfg_.delayed_ack) {
@@ -85,6 +84,39 @@ void TcpReceiver::on_packet(const net::Packet& p) {
   if (!delack_event_.valid()) {
     delack_event_ = sim_->schedule(cfg_.delack_timer, [this] { on_delack_timer(); });
   }
+}
+
+bool TcpReceiver::buffer_out_of_order(SeqNum seq, std::uint32_t payload) {
+  // First interval whose end reaches seq: the only candidate that can
+  // contain seq or absorb it by extension.
+  const auto it = std::lower_bound(
+      ooo_.begin(), ooo_.end(), seq,
+      [](const Interval& iv, SeqNum s) { return iv.end < s; });
+
+  if (it != ooo_.end() && it->begin <= seq && seq < it->end) {
+    return false;  // already buffered
+  }
+  if (it != ooo_.end() && seq == it->end) {
+    // Grows `it` on the right; may bridge the gap to the next interval.
+    ++it->end;
+    it->bytes += payload;
+    const auto next = std::next(it);
+    if (next != ooo_.end() && next->begin == it->end) {
+      it->end = next->end;
+      it->bytes += next->bytes;
+      ooo_.erase(next);
+    }
+    return true;
+  }
+  if (it != ooo_.end() && seq + 1 == it->begin) {
+    // Grows `it` on the left. It cannot touch the previous interval:
+    // lower_bound skipped that one, so its end is < seq.
+    it->begin = seq;
+    it->bytes += payload;
+    return true;
+  }
+  ooo_.insert(it, {seq, seq + 1, payload});
+  return true;
 }
 
 void TcpReceiver::on_delack_timer() {

@@ -23,7 +23,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <vector>
 
 #include "net/host.hpp"
 #include "net/packet.hpp"
@@ -69,8 +69,21 @@ class TcpReceiver : public net::Agent {
   ReceiverConfig cfg_;
   sim::Simulator* sim_;
 
+  // One contiguous run of buffered out-of-order segments: seq space
+  // [begin, end) carrying `bytes` payload bytes in total.
+  struct Interval {
+    SeqNum begin;
+    SeqNum end;
+    std::uint64_t bytes;
+  };
+  // Returns false when `seq` was already buffered (duplicate).
+  bool buffer_out_of_order(SeqNum seq, std::uint32_t payload);
+
   SeqNum rcv_next_ = 0;
-  std::map<SeqNum, std::uint32_t> out_of_order_;  // seq -> payload bytes
+  // Sorted, disjoint, non-adjacent intervals (merge-on-insert). Loss leaves
+  // a handful of holes, so this stays tiny where a per-segment map would
+  // hold one node per buffered packet.
+  std::vector<Interval> ooo_;
 
   std::uint64_t delivered_bytes_ = 0;
   std::uint64_t received_data_packets_ = 0;

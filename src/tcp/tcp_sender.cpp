@@ -34,19 +34,16 @@ TcpSender::~TcpSender() {
 
 std::uint64_t TcpSender::write(std::uint64_t bytes) {
   if (bytes == 0) throw std::invalid_argument("TcpSender::write: zero bytes");
-  bytes_written_ += bytes;
   const SeqNum first_seg = total_segments_;
-  std::uint64_t remaining = bytes;
-  while (remaining > 0) {
-    const auto seg = static_cast<std::uint32_t>(std::min<std::uint64_t>(remaining, cfg_.mss));
-    seg_bytes_.push_back(seg);
-    remaining -= seg;
-  }
-  total_segments_ = seg_bytes_.size();
-  message_segments_.push_back({first_seg, total_segments_ - 1});
+  const std::uint64_t start_byte = bytes_written_;
+  const std::uint64_t nsegs = (bytes + cfg_.mss - 1) / cfg_.mss;
+  const auto tail = static_cast<std::uint32_t>(bytes - (nsegs - 1) * cfg_.mss);
+  bytes_written_ += bytes;
+  total_segments_ += nsegs;
 
   const auto msg_id = stats_.begin_message(bytes, sim_->now());
-  pending_messages_.emplace_back(bytes_written_, msg_id);
+  messages_.push_back(
+      {first_seg, total_segments_ - 1, start_byte, bytes_written_, msg_id, tail});
 
   if (!established_ && !syn_sent_) {
     send_syn();
@@ -56,18 +53,42 @@ std::uint64_t TcpSender::write(std::uint64_t bytes) {
   return msg_id;
 }
 
+const TcpSender::MessageRecord* TcpSender::find_message(SeqNum seq) const {
+  // Binary search the outstanding records by first segment. The deque is
+  // sorted (messages are appended in write order and popped from the
+  // front), and callers only ever ask about unacked segments, whose
+  // records are guaranteed to still be present.
+  const auto it = std::upper_bound(
+      messages_.begin(), messages_.end(), seq,
+      [](SeqNum s, const MessageRecord& r) { return s < r.first_seg; });
+  if (it == messages_.begin()) return nullptr;
+  const MessageRecord& r = *std::prev(it);
+  return seq <= r.last_seg ? &r : nullptr;
+}
+
+std::uint32_t TcpSender::segment_payload_bytes(SeqNum seq) const {
+  const MessageRecord* r = find_message(seq);
+  assert(r != nullptr);
+  return seq == r->last_seg ? r->tail_bytes : cfg_.mss;
+}
+
+std::uint64_t TcpSender::bytes_upto(SeqNum seq) const {
+  if (seq >= total_segments_) return bytes_written_;
+  // Segment `seq` is unacked, so its record is live; every segment before
+  // it inside the same message is a full MSS.
+  const MessageRecord* r = find_message(seq);
+  assert(r != nullptr);
+  return r->start_byte + (seq - r->first_seg) * static_cast<std::uint64_t>(cfg_.mss);
+}
+
 bool TcpSender::is_message_start(SeqNum seq) const {
-  const auto it = std::lower_bound(
-      message_segments_.begin(), message_segments_.end(), seq,
-      [](const SegmentRange& r, SeqNum s) { return r.first < s; });
-  return it != message_segments_.end() && it->first == seq;
+  const MessageRecord* r = find_message(seq);
+  return r != nullptr && r->first_seg == seq;
 }
 
 bool TcpSender::is_message_end(SeqNum seq) const {
-  const auto it = std::lower_bound(
-      message_segments_.begin(), message_segments_.end(), seq,
-      [](const SegmentRange& r, SeqNum s) { return r.last < s; });
-  return it != message_segments_.end() && it->last == seq;
+  const MessageRecord* r = find_message(seq);
+  return r != nullptr && r->last_seg == seq;
 }
 
 void TcpSender::send_syn() {
@@ -110,7 +131,7 @@ void TcpSender::send_segment(SeqNum seq, bool retransmission) {
   p.flow = flow_;
   p.is_ack = false;
   p.seq = seq;
-  p.payload_bytes = seg_bytes_[seq];
+  p.payload_bytes = segment_payload_bytes(seq);
   p.ts = sim_->now();
   if (cfg_.ecn_capable) p.ecn = net::EcnCodepoint::kEct;
   cc_before_send(p);
@@ -132,7 +153,7 @@ void TcpSender::send_redundant_copy(SeqNum seq) {
   p.dst = dst_;
   p.flow = flow_;
   p.seq = seq;
-  p.payload_bytes = seg_bytes_[seq];
+  p.payload_bytes = segment_payload_bytes(seq);
   p.ts = sim_->now();
   if (cfg_.ecn_capable) p.ecn = net::EcnCodepoint::kEct;
   ++stats_.data_packets_sent;
@@ -232,11 +253,11 @@ void TcpSender::handle_new_ack(const AckEvent& ev) {
   rtt_.add_sample(ev.rtt);
   rto_backoff_ = 0;
 
-  // Advance byte accounting over the newly acked segments.
-  for (SeqNum s = snd_una_; s < ev.ack_seq; ++s) {
-    acked_bytes_ += seg_bytes_[s];
-    stats_.goodput_bytes += seg_bytes_[s];
-  }
+  // Advance byte accounting to the cumulative ACK in O(log outstanding
+  // messages) — no per-segment walk.
+  const std::uint64_t acked_upto = bytes_upto(ev.ack_seq);
+  stats_.goodput_bytes += acked_upto - acked_bytes_;
+  acked_bytes_ = acked_upto;
   snd_una_ = ev.ack_seq;
   // ACKs can arrive for data beyond a post-RTO go-back-N pointer.
   snd_next_ = std::max(snd_next_, snd_una_);
@@ -288,9 +309,11 @@ void TcpSender::handle_dupack(AckEvent&) {
 }
 
 void TcpSender::check_message_completion() {
-  while (!pending_messages_.empty() && acked_bytes_ >= pending_messages_.front().first) {
-    const auto msg_id = pending_messages_.front().second;
-    pending_messages_.pop_front();
+  // Pop before firing callbacks: a callback may write() the next message,
+  // and the record of the completed one must already be gone.
+  while (!messages_.empty() && acked_bytes_ >= messages_.front().end_byte) {
+    const auto msg_id = messages_.front().msg_id;
+    messages_.pop_front();
     stats_.complete_message(msg_id, sim_->now());
     for (const auto& cb : on_message_) cb(msg_id, sim_->now());
   }

@@ -77,6 +77,12 @@ class TcpSender : public net::Agent {
   // Record (time, cwnd) on every window change — Figs. 4(b), 6(b).
   void set_cwnd_trace(stats::TimeSeries* trace) { cwnd_trace_ = trace; }
 
+  // Resident bytes of the per-flow segment/message accounting structures
+  // (excludes FlowStats message records). Tracked by bench_flow_datapath.
+  std::size_t datapath_state_bytes() const {
+    return messages_.size() * sizeof(MessageRecord);
+  }
+
   // ---- net::Agent ----
   void on_packet(const net::Packet& p) override;
 
@@ -124,16 +130,26 @@ class TcpSender : public net::Agent {
   void send_redundant_copy(SeqNum seq);
 
  public:
-  // Message boundaries in segment space: [first, last] segment index per
-  // application write, in write order.
-  struct SegmentRange {
-    SeqNum first;
-    SeqNum last;
+  // One outstanding application message: segments [first_seg, last_seg],
+  // bytes [start_byte, end_byte). Every segment carries a full MSS except
+  // the tail, so segment->byte mapping is pure arithmetic and no
+  // per-segment size table is needed. Records are popped as soon as the
+  // message's last byte is cumulatively acked, keeping sender accounting
+  // O(outstanding messages) regardless of how long the connection lives.
+  struct MessageRecord {
+    SeqNum first_seg;
+    SeqNum last_seg;
+    std::uint64_t start_byte;
+    std::uint64_t end_byte;
+    std::uint64_t msg_id;       // FlowStats message id for completion
+    std::uint32_t tail_bytes;   // payload of last_seg (== mss iff aligned)
   };
-  const std::vector<SegmentRange>& message_segments() const {
-    return message_segments_;
+  // Incomplete messages in write order (front = oldest unacked).
+  const std::deque<MessageRecord>& outstanding_messages() const {
+    return messages_;
   }
-  // True when `seq` is the first/last segment of some message.
+  // True when `seq` is the first/last segment of an outstanding message.
+  // (Completed messages are forgotten; callers only query unacked space.)
   bool is_message_start(SeqNum seq) const;
   bool is_message_end(SeqNum seq) const;
 
@@ -143,6 +159,13 @@ class TcpSender : public net::Agent {
  protected:
 
  private:
+  // Outstanding message containing `seq`, or nullptr (acked or unwritten).
+  const MessageRecord* find_message(SeqNum seq) const;
+  // Payload bytes of segment `seq` (full MSS except message tails).
+  std::uint32_t segment_payload_bytes(SeqNum seq) const;
+  // Stream bytes carried by segments [0, seq) — O(log outstanding).
+  std::uint64_t bytes_upto(SeqNum seq) const;
+
   void send_segment(SeqNum seq, bool retransmission);
   void send_syn();
   void handle_new_ack(const AckEvent& ev);
@@ -159,11 +182,10 @@ class TcpSender : public net::Agent {
   TcpConfig cfg_;
   sim::Simulator* sim_;
 
-  // Segment store: byte size per segment index (grows as the app writes).
-  std::vector<std::uint32_t> seg_bytes_;
   SeqNum total_segments_ = 0;
   std::uint64_t bytes_written_ = 0;
-  std::vector<SegmentRange> message_segments_;
+  // Compact segment accounting: boundaries of the incomplete messages only.
+  std::deque<MessageRecord> messages_;
 
   bool established_ = true;  // false until SYN-ACK when handshake is on
   bool syn_sent_ = false;
@@ -184,8 +206,6 @@ class TcpSender : public net::Agent {
   int rto_backoff_ = 0;
   sim::SimTime last_send_time_;
 
-  // Message bookkeeping: (cumulative end-byte offset, stats message id).
-  std::deque<std::pair<std::uint64_t, std::uint64_t>> pending_messages_;
   std::vector<MessageCallback> on_message_;
 
   stats::FlowStats stats_;

@@ -1,0 +1,144 @@
+// Flat flow-dispatch table (Host) and ring-buffer trace tap: the two
+// bounded-state observability/demux structures on the packet hot path.
+#include <gtest/gtest.h>
+
+#include "net/host.hpp"
+#include "net/trace_tap.hpp"
+#include "sim/simulator.hpp"
+
+namespace trim::net {
+namespace {
+
+class CountingAgent : public Agent {
+ public:
+  void on_packet(const Packet&) override { ++count; }
+  int count = 0;
+};
+
+Packet data_for(FlowId flow, std::uint64_t seq = 0) {
+  Packet p;
+  p.flow = flow;
+  p.seq = seq;
+  p.payload_bytes = 100;
+  return p;
+}
+
+// ---------- Host flat dispatch ----------
+
+TEST(HostDispatch, RoutesByFlowIdAndCountsUnroutable) {
+  sim::Simulator sim;
+  Host h{&sim, 0, "h"};
+  CountingAgent a1, a2;
+  h.register_agent(7, &a1);
+  h.register_agent(9, &a2);
+
+  h.receive(data_for(7));
+  h.receive(data_for(9));
+  h.receive(data_for(9));
+  h.receive(data_for(8));   // hole inside the table
+  h.receive(data_for(100)); // beyond the table
+  h.receive(data_for(2));   // below the table's base
+  EXPECT_EQ(a1.count, 1);
+  EXPECT_EQ(a2.count, 2);
+  EXPECT_EQ(h.unroutable_packets(), 3u);
+}
+
+TEST(HostDispatch, TableGrowsDownwardForOutOfOrderRegistration) {
+  // Ids registered high-then-low: the dense table must rebase, not drop.
+  sim::Simulator sim;
+  Host h{&sim, 0, "h"};
+  CountingAgent hi, lo;
+  h.register_agent(50, &hi);
+  h.register_agent(3, &lo);
+  h.receive(data_for(50));
+  h.receive(data_for(3));
+  EXPECT_EQ(hi.count, 1);
+  EXPECT_EQ(lo.count, 1);
+  EXPECT_EQ(h.unroutable_packets(), 0u);
+}
+
+TEST(HostDispatch, RegistrationValidatesInput) {
+  sim::Simulator sim;
+  Host h{&sim, 0, "h"};
+  CountingAgent a, b;
+  EXPECT_THROW(h.register_agent(1, nullptr), std::invalid_argument);
+  h.register_agent(1, &a);
+  EXPECT_THROW(h.register_agent(1, &b), std::logic_error);
+}
+
+TEST(HostDispatch, UnregisterFreesSlotForReuse) {
+  sim::Simulator sim;
+  Host h{&sim, 0, "h"};
+  CountingAgent a, b;
+  h.register_agent(4, &a);
+  h.unregister_agent(4);
+  h.receive(data_for(4));
+  EXPECT_EQ(h.unroutable_packets(), 1u);
+  h.register_agent(4, &b);  // slot is reusable after unregister
+  h.receive(data_for(4));
+  EXPECT_EQ(b.count, 1);
+  h.unregister_agent(4);
+  h.unregister_agent(4);    // double/unknown unregister is a no-op
+  h.unregister_agent(999);
+}
+
+// ---------- TraceTap ring buffer ----------
+
+TEST(TraceTapRing, KeepsMostRecentEntriesInChronologicalOrder) {
+  TraceTap tap;
+  tap.set_max_entries(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    tap.record(PacketEvent::kEnqueued, data_for(1, i), sim::SimTime::micros(i));
+  }
+  EXPECT_EQ(tap.size(), 4u);
+  EXPECT_EQ(tap.total_recorded(), 10u);
+  const auto entries = tap.entries();
+  ASSERT_EQ(entries.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(entries[i].packet.seq, 6 + i);  // oldest retained is seq 6
+    EXPECT_EQ(tap.entry(i).packet.seq, 6 + i);
+  }
+}
+
+TEST(TraceTapRing, CountersAreCumulativeAcrossEviction) {
+  TraceTap tap;
+  tap.set_max_entries(2);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    tap.record(PacketEvent::kDropped, data_for(1, i), sim::SimTime::micros(i));
+    tap.record(PacketEvent::kDelivered, data_for(1, i), sim::SimTime::micros(i));
+  }
+  // Only 2 entries survive, but the counters saw everything.
+  EXPECT_EQ(tap.size(), 2u);
+  EXPECT_EQ(tap.dropped_count(), 6u);
+  EXPECT_EQ(tap.delivered_count(), 6u);
+  EXPECT_EQ(tap.total_recorded(), 12u);
+}
+
+TEST(TraceTapRing, ShrinkingTheCapKeepsTheNewestEntries) {
+  TraceTap tap;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    tap.record(PacketEvent::kEnqueued, data_for(1, i), sim::SimTime::micros(i));
+  }
+  tap.set_max_entries(3);
+  const auto entries = tap.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries.front().packet.seq, 5u);
+  EXPECT_EQ(entries.back().packet.seq, 7u);
+  // Appends after the shrink still land in order behind the survivors.
+  tap.record(PacketEvent::kEnqueued, data_for(1, 8), sim::SimTime::micros(8));
+  EXPECT_EQ(tap.entries().back().packet.seq, 8u);
+  EXPECT_EQ(tap.size(), 3u);
+}
+
+TEST(TraceTapRing, FlowFilterAppliesBeforeCounters) {
+  TraceTap tap;
+  tap.set_flow_filter(2);
+  tap.record(PacketEvent::kDropped, data_for(1, 0), sim::SimTime::zero());
+  tap.record(PacketEvent::kDropped, data_for(2, 0), sim::SimTime::zero());
+  EXPECT_EQ(tap.dropped_count(), 1u);
+  EXPECT_EQ(tap.total_recorded(), 1u);
+  EXPECT_EQ(tap.size(), 1u);
+}
+
+}  // namespace
+}  // namespace trim::net

@@ -47,16 +47,64 @@ TEST(TimeSeries, DownsampleBoundsPointCount) {
   TimeSeries ts;
   for (int i = 0; i < 1000; ++i) ts.record(SimTime::micros(i), i);
   const auto small = ts.downsampled(100);
-  EXPECT_LE(small.size(), 100u);
+  EXPECT_LE(small.size(), 101u);  // every k-th sample plus the endpoint
   EXPECT_GE(small.size(), 90u);
   EXPECT_DOUBLE_EQ(small.samples().front().value, 0.0);
 }
 
-TEST(TimeSeries, EmptySeriesThrows) {
+TEST(TimeSeries, DownsamplePreservesTheFinalSample) {
+  TimeSeries ts;
+  for (int i = 0; i < 1000; ++i) ts.record(SimTime::micros(i), i);
+  ts.record(SimTime::micros(1000), 777.0);  // endpoint spike
+  const auto small = ts.downsampled(100);
+  EXPECT_DOUBLE_EQ(small.samples().back().value, 777.0);
+  // No limit means an identical copy.
+  EXPECT_EQ(ts.downsampled(0).size(), ts.size());
+}
+
+TEST(TimeSeries, EmptyAndSingleSampleEdgeCases) {
   TimeSeries ts;
   EXPECT_THROW(ts.max_value(), std::logic_error);
+  EXPECT_THROW(ts.min_value(), std::logic_error);
   EXPECT_THROW(ts.time_weighted_mean(), std::logic_error);
-  EXPECT_THROW(ts.value_at(SimTime::zero()), std::logic_error);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::zero()), 0.0);  // empty: no throw
+  EXPECT_TRUE(ts.downsampled(10).empty());
+
+  ts.record(SimTime::millis(2), 4.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::millis(1)), 4.0);  // before first
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::millis(2)), 4.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::millis(9)), 4.0);  // after last
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(), 4.0);
+}
+
+TEST(TimeSeries, ChunkedStorageStaysContiguousAcrossBoundaries) {
+  // Cross several 4096-sample chunk boundaries and verify the span view
+  // and the queries still see one ordered series.
+  TimeSeries ts;
+  const int n = 3 * 4096 + 17;
+  for (int i = 0; i < n; ++i) ts.record(SimTime::micros(i), i);
+  const auto view = ts.samples();
+  ASSERT_EQ(view.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(view[i].value, i);
+  EXPECT_DOUBLE_EQ(ts.max_value(), n - 1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::micros(5000)), 5000.0);
+  // The view cache must refresh after further appends.
+  ts.record(SimTime::micros(n), 12345.0);
+  EXPECT_DOUBLE_EQ(ts.samples().back().value, 12345.0);
+}
+
+TEST(TimeSeries, DecimationLimitBoundsRetainedSamples) {
+  TimeSeries ts;
+  ts.set_decimation_limit(1000);
+  for (int i = 0; i < 100000; ++i) ts.record(SimTime::micros(i), i);
+  EXPECT_LE(ts.size(), 1000u);
+  EXPECT_GE(ts.size(), 250u);  // coarser, but still covering the run
+  const auto view = ts.samples();
+  EXPECT_DOUBLE_EQ(view.front().value, 0.0);
+  for (std::size_t i = 1; i < view.size(); ++i) {
+    EXPECT_LT(view[i - 1].at, view[i].at);  // order survives thinning
+  }
+  EXPECT_GT(view.back().value, 90000.0);  // the tail of the run is covered
 }
 
 // ---------- RateMeter ----------

@@ -1,0 +1,129 @@
+// Byte-accounting pins for the flow data path. These tests freeze the
+// exact goodput and message-completion behavior of the per-segment
+// reference implementation (seed PR 1) across the two recovery paths that
+// exercise segment->byte mapping hardest: NewReno partial-ACK recovery and
+// post-RTO go-back-N — both with non-MSS tail segments, where an
+// arithmetic mapping could silently drift from the per-segment truth.
+//
+// The pinned constants were captured from the pre-refactor sender (vector
+// of per-segment sizes, per-segment cumulative-ACK loop) and must survive
+// any rework of the segment store bit for bit.
+#include <gtest/gtest.h>
+
+#include "tcp/reno.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp_test_util.hpp"
+
+namespace trim::tcp {
+namespace {
+
+using test::HostPair;
+
+struct PinnedFlow {
+  explicit PinnedFlow(HostPair& net, TcpConfig cfg = {})
+      : receiver{&net.b, 1, net.a.id()}, sender{&net.a, net.b.id(), 1, cfg} {}
+  TcpReceiver receiver;
+  RenoSender sender;
+};
+
+TEST(ByteAccounting, NewRenoPartialAckWithShortTails) {
+  HostPair net;
+  PinnedFlow f{net};
+  std::vector<std::pair<std::uint64_t, sim::SimTime>> completions;
+  f.sender.add_message_complete_callback(
+      [&](std::uint64_t id, sim::SimTime now) { completions.emplace_back(id, now); });
+
+  // Two losses inside one window force fast retransmit plus a NewReno
+  // partial ACK; all three messages end in a short (non-MSS) tail segment.
+  net.data_queue->drop_segment_once(20);
+  net.data_queue->drop_segment_once(22);
+  const std::uint64_t m0 = f.sender.write(30 * 1460 + 700);  // segs 0..30
+  const std::uint64_t m1 = f.sender.write(10 * 1460 + 300);  // segs 31..41
+  const std::uint64_t m2 = f.sender.write(800);              // seg 42
+  net.sim.run();
+
+  const std::uint64_t total = 30ull * 1460 + 700 + 10ull * 1460 + 300 + 800;
+  EXPECT_TRUE(f.sender.idle());
+  EXPECT_EQ(f.receiver.delivered_bytes(), total);
+  EXPECT_EQ(f.sender.bytes_acked(), total);
+  EXPECT_EQ(f.sender.stats().goodput_bytes, total);
+  EXPECT_EQ(f.sender.stats().timeouts, 0u);
+  EXPECT_EQ(f.sender.stats().fast_retransmits, 1u);
+  EXPECT_EQ(f.sender.stats().retransmitted_packets, 2u);
+
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0].first, m0);
+  EXPECT_EQ(completions[1].first, m1);
+  EXPECT_EQ(completions[2].first, m2);
+  // Pinned completion instants (nanoseconds of simulated time, captured
+  // from the per-segment reference implementation): the partial-ACK
+  // recovery holds back m0's tail, so the final retransmission completes
+  // all three messages on the same cumulative ACK.
+  EXPECT_EQ(completions[0].second.ns(), 858240);
+  EXPECT_EQ(completions[1].second.ns(), 858240);
+  EXPECT_EQ(completions[2].second.ns(), 858240);
+}
+
+TEST(ByteAccounting, PostRtoGoBackNWithShortTails) {
+  HostPair net;
+  TcpConfig cfg;
+  cfg.min_rto = sim::SimTime::millis(10);
+  cfg.cwnd_after_rto = 2.0;  // go-back-N refills two segments at a time
+  PinnedFlow f{net, cfg};
+  std::vector<std::pair<std::uint64_t, sim::SimTime>> completions;
+  f.sender.add_message_complete_callback(
+      [&](std::uint64_t id, sim::SimTime now) { completions.emplace_back(id, now); });
+
+  // Losing segment 38 and the short tail 40 leaves a single dupack (from
+  // 39) — too few for fast retransmit, so only the RTO repairs the hole.
+  // Go-back-N with a 2-segment post-RTO window then replays segment 39,
+  // which the receiver already holds (spurious retransmission). A second
+  // message lands after recovery.
+  net.data_queue->drop_segment_once(38);
+  net.data_queue->drop_segment_once(40);
+  const std::uint64_t m0 = f.sender.write(40 * 1460 + 500);  // segs 0..40
+  std::uint64_t m1 = 0;
+  net.sim.schedule(sim::SimTime::millis(15),
+                   [&] { m1 = f.sender.write(3 * 1460 + 123); });  // segs 41..44
+  net.sim.run();
+
+  const std::uint64_t total = 40ull * 1460 + 500 + 3ull * 1460 + 123;
+  EXPECT_TRUE(f.sender.idle());
+  EXPECT_EQ(f.receiver.delivered_bytes(), total);
+  EXPECT_EQ(f.sender.bytes_acked(), total);
+  EXPECT_EQ(f.sender.stats().goodput_bytes, total);
+  EXPECT_EQ(f.sender.stats().timeouts, 1u);
+
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0].first, m0);
+  EXPECT_EQ(completions[1].first, m1);
+  // Pinned from the per-segment reference implementation: m0 completes
+  // just after the 10 ms RTO repairs the tail; the replayed segment 39 is
+  // the one spurious duplicate at the receiver.
+  EXPECT_EQ(completions[0].second.ns(), 10942240);
+  EXPECT_EQ(completions[1].second.ns(), 15213944);
+  EXPECT_EQ(f.sender.stats().retransmitted_packets, 3u);
+  EXPECT_EQ(f.receiver.duplicate_data_packets(), 1u);
+}
+
+// Goodput must count each byte exactly once even when go-back-N retransmits
+// segments the receiver already delivered (spurious retransmissions).
+TEST(ByteAccounting, GoodputCountsEachByteOnceUnderSpuriousRetransmission) {
+  HostPair net;
+  TcpConfig cfg;
+  cfg.min_rto = sim::SimTime::millis(10);
+  PinnedFlow f{net, cfg};
+  // Drop an early segment and the whole initial window a second time so
+  // recovery overlaps a window of already-delivered data.
+  net.data_queue->drop_segment_once(0);
+  net.data_queue->drop_segment_once(0);
+  f.sender.write(25 * 1460 + 901);
+  net.sim.run();
+  EXPECT_TRUE(f.sender.idle());
+  EXPECT_EQ(f.sender.stats().goodput_bytes, 25ull * 1460 + 901);
+  EXPECT_EQ(f.receiver.delivered_bytes(), 25ull * 1460 + 901);
+  EXPECT_GE(f.sender.stats().timeouts, 1u);
+}
+
+}  // namespace
+}  // namespace trim::tcp

@@ -126,7 +126,7 @@ TEST(MessageBoundaries, StartAndEndDetection) {
   EXPECT_TRUE(sender.is_message_start(4));
   EXPECT_TRUE(sender.is_message_end(5));
   EXPECT_FALSE(sender.is_message_end(4));
-  EXPECT_EQ(sender.message_segments().size(), 3u);
+  EXPECT_EQ(sender.outstanding_messages().size(), 3u);
   net.sim.run();
 }
 

@@ -1,0 +1,158 @@
+// Receiver reassembly semantics, pinned independently of the out-of-order
+// store's representation: segments are fed straight into the receiver in
+// scripted orders and the observable contract — delivered byte counts,
+// rcv_next advancement, duplicate accounting, cumulative-ACK values — must
+// hold for the node-per-segment map and for the interval list alike.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tcp/tcp_receiver.hpp"
+#include "tcp_test_util.hpp"
+
+namespace trim::tcp {
+namespace {
+
+using test::HostPair;
+
+// Captures ACKs the receiver emits back to the sender host.
+struct AckSink : net::Agent {
+  std::vector<net::Packet> acks;
+  void on_packet(const net::Packet& p) override { acks.push_back(p); }
+};
+
+struct Harness {
+  Harness() : recv{&net.b, 1, net.a.id()} {
+    net.a.register_agent(1, &sink);
+    recv.set_deliver_callback([this](std::uint64_t bytes) { deliveries.push_back(bytes); });
+  }
+  ~Harness() { net.a.unregister_agent(1); }
+
+  // Inject one data segment as if it had just arrived off the wire.
+  void deliver(std::uint64_t seq, std::uint32_t payload) {
+    net::Packet p;
+    p.dst = net.b.id();
+    p.flow = 1;
+    p.seq = seq;
+    p.payload_bytes = payload;
+    p.ts = net.sim.now();
+    recv.on_packet(p);
+    net.sim.run();  // flush the ACK through the reverse link
+  }
+
+  HostPair net;
+  AckSink sink;
+  TcpReceiver recv;
+  std::vector<std::uint64_t> deliveries;
+};
+
+// Payload for segment i: distinct sizes expose any byte/segment mix-up.
+std::uint32_t payload_of(std::uint64_t seq) { return 100 + static_cast<std::uint32_t>(seq); }
+
+TEST(Reassembly, BufferedSegmentsDrainWithHeadArrival) {
+  Harness h;
+  h.deliver(1, payload_of(1));
+  h.deliver(2, payload_of(2));
+  h.deliver(3, payload_of(3));
+  EXPECT_EQ(h.recv.rcv_next(), 0u);
+  EXPECT_EQ(h.recv.delivered_bytes(), 0u);
+  h.deliver(0, payload_of(0));
+  EXPECT_EQ(h.recv.rcv_next(), 4u);
+  EXPECT_EQ(h.recv.delivered_bytes(),
+            static_cast<std::uint64_t>(payload_of(0)) + payload_of(1) + payload_of(2) +
+                payload_of(3));
+  // One delivery event covering the whole drained run.
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.deliveries[0], h.recv.delivered_bytes());
+  EXPECT_EQ(h.recv.duplicate_data_packets(), 0u);
+}
+
+TEST(Reassembly, GapMergingAcrossSeparateIntervals) {
+  Harness h;
+  // Three disjoint runs: {1}, {3}, {5}; then 2 merges 1..3; head arrival
+  // drains 0..3; 4 bridges to 5 and drains the rest.
+  h.deliver(1, payload_of(1));
+  h.deliver(3, payload_of(3));
+  h.deliver(5, payload_of(5));
+  h.deliver(2, payload_of(2));
+  EXPECT_EQ(h.recv.rcv_next(), 0u);
+  h.deliver(0, payload_of(0));
+  EXPECT_EQ(h.recv.rcv_next(), 4u);
+  h.deliver(4, payload_of(4));
+  EXPECT_EQ(h.recv.rcv_next(), 6u);
+  std::uint64_t total = 0;
+  for (std::uint64_t s = 0; s <= 5; ++s) total += payload_of(s);
+  EXPECT_EQ(h.recv.delivered_bytes(), total);
+  ASSERT_EQ(h.deliveries.size(), 2u);
+  EXPECT_EQ(h.deliveries[0], static_cast<std::uint64_t>(payload_of(0)) + payload_of(1) +
+                                 payload_of(2) + payload_of(3));
+  EXPECT_EQ(h.deliveries[1], static_cast<std::uint64_t>(payload_of(4)) + payload_of(5));
+}
+
+TEST(Reassembly, DuplicatesAreCountedNotDelivered) {
+  Harness h;
+  h.deliver(2, payload_of(2));
+  h.deliver(2, payload_of(2));  // duplicate inside the out-of-order store
+  EXPECT_EQ(h.recv.duplicate_data_packets(), 1u);
+  h.deliver(0, payload_of(0));
+  h.deliver(0, payload_of(0));  // duplicate below rcv_next (spurious retx)
+  EXPECT_EQ(h.recv.duplicate_data_packets(), 2u);
+  h.deliver(1, payload_of(1));
+  EXPECT_EQ(h.recv.rcv_next(), 3u);
+  EXPECT_EQ(h.recv.delivered_bytes(),
+            static_cast<std::uint64_t>(payload_of(0)) + payload_of(1) + payload_of(2));
+}
+
+TEST(Reassembly, EveryArrivalAcksCumulativeSeq) {
+  Harness h;
+  h.deliver(1, payload_of(1));
+  h.deliver(0, payload_of(0));
+  h.deliver(2, payload_of(2));
+  ASSERT_EQ(h.sink.acks.size(), 3u);
+  EXPECT_EQ(h.sink.acks[0].seq, 0u);  // hole at 0: dupack
+  EXPECT_EQ(h.sink.acks[0].ack_of_seq, 1u);
+  EXPECT_EQ(h.sink.acks[1].seq, 2u);  // head arrival drains 0..1
+  EXPECT_EQ(h.sink.acks[2].seq, 3u);
+  EXPECT_EQ(h.recv.acks_sent(), 3u);
+}
+
+// Adversarial insertion order: every permutation pattern of a 32-segment
+// window (descending, alternating, random-ish stride) must reassemble to
+// the same byte count with zero duplicates.
+TEST(Reassembly, StressInsertionOrders) {
+  const std::uint64_t n = 32;
+  std::uint64_t expect = 0;
+  for (std::uint64_t s = 0; s < n; ++s) expect += payload_of(s);
+
+  {  // descending
+    Harness h;
+    for (std::uint64_t s = n; s-- > 1;) h.deliver(s, payload_of(s));
+    h.deliver(0, payload_of(0));
+    EXPECT_EQ(h.recv.rcv_next(), n);
+    EXPECT_EQ(h.recv.delivered_bytes(), expect);
+    EXPECT_EQ(h.recv.duplicate_data_packets(), 0u);
+  }
+  {  // odds first, then evens
+    Harness h;
+    for (std::uint64_t s = 1; s < n; s += 2) h.deliver(s, payload_of(s));
+    for (std::uint64_t s = 2; s < n; s += 2) h.deliver(s, payload_of(s));
+    h.deliver(0, payload_of(0));
+    EXPECT_EQ(h.recv.rcv_next(), n);
+    EXPECT_EQ(h.recv.delivered_bytes(), expect);
+    EXPECT_EQ(h.recv.duplicate_data_packets(), 0u);
+  }
+  {  // stride-7 permutation
+    Harness h;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t s = (1 + i * 7) % n;
+      if (s != 0) h.deliver(s, payload_of(s));
+    }
+    h.deliver(0, payload_of(0));
+    EXPECT_EQ(h.recv.rcv_next(), n);
+    EXPECT_EQ(h.recv.delivered_bytes(), expect);
+    EXPECT_EQ(h.recv.duplicate_data_packets(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace trim::tcp
