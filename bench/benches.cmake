@@ -35,3 +35,4 @@ trim_bench(bench_related_delay)
 trim_bench(bench_model_validation)
 trim_bench(bench_persistent_connections)
 trim_bench(bench_incast_collapse)
+trim_bench(bench_resilience)

@@ -1,5 +1,7 @@
 #include "core/sender_factory.hpp"
 
+#include "sim/config_error.hpp"
+
 #include <stdexcept>
 
 namespace trim::core {
@@ -27,7 +29,7 @@ std::unique_ptr<tcp::TcpSender> make_sender(tcp::Protocol protocol, net::Host* s
     case tcp::Protocol::kGip:
       return std::make_unique<tcp::GipSender>(src, dst, flow, opts.tcp, opts.gip);
   }
-  throw std::invalid_argument("make_sender: unknown protocol");
+  throw ConfigError{"unknown protocol", "make_sender"};
 }
 
 tcp::Flow make_protocol_flow(net::Network& network, net::Host& src, net::Host& dst,

@@ -1,5 +1,9 @@
 #include "core/trim_sender.hpp"
 
+#include <string>
+
+#include "sim/config_error.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -23,8 +27,9 @@ TrimSender::TrimSender(net::Host* host, net::NodeId dst, net::FlowId flow,
                        tcp::TcpConfig tcp_cfg, TrimConfig trim_cfg)
     : TcpSender{host, dst, flow, trim_tcp_config(tcp_cfg)}, cfg_{trim_cfg} {
   if (cfg_.capacity_pps <= 0.0 && !cfg_.k_override) {
-    throw std::invalid_argument(
-        "TrimSender: TrimConfig needs capacity_pps (for Eq. 22) or k_override");
+    throw ConfigError{"TrimConfig needs capacity_pps (for Eq. 22) or k_override",
+                      "TrimSender, flow " + std::to_string(flow),
+                      "capacity_pps > 0, or set k_override"};
   }
   if (cfg_.k_override) k_ = *cfg_.k_override;
 }

@@ -64,6 +64,11 @@ class TrimSender : public tcp::TcpSender {
   bool probing() const { return probing_; }
   const TrimConfig& trim_config() const { return cfg_; }
 
+  // Liveness introspection (see TcpSender): while probing, forward
+  // progress depends on the probe timer (or the RTO as backstop).
+  bool cc_suspended() const override { return probing_; }
+  bool cc_wakeup_pending() const override { return probe_timer_.valid(); }
+
  protected:
   void cc_on_every_ack(const tcp::AckEvent& ev) override;
   void cc_on_new_ack(const tcp::AckEvent& ev) override;

@@ -12,7 +12,17 @@
 namespace trim::exp {
 
 ConcurrencyResult run_concurrency(const ConcurrencyConfig& cfg) {
+  require(cfg.num_spt_servers >= 1, "no SPT servers",
+          "ConcurrencyConfig::num_spt_servers", ">= 1");
+  require(cfg.num_lpt_servers >= 0, "negative LPT server count",
+          "ConcurrencyConfig::num_lpt_servers", ">= 0");
+  require(cfg.spt_packets >= 1, "empty SPT", "ConcurrencyConfig::spt_packets",
+          ">= 1");
+  require(cfg.run_until > cfg.spt_start && cfg.spt_start > cfg.lpt_start,
+          "bad schedule", "ConcurrencyConfig::lpt_start/spt_start/run_until",
+          "lpt_start < spt_start < run_until");
   World world;
+  InvariantScope inv{world, cfg.run_until};
 
   topo::ManyToOneConfig topo_cfg;
   topo_cfg.num_servers = cfg.num_spt_servers + cfg.num_lpt_servers;
@@ -29,6 +39,7 @@ ConcurrencyResult run_concurrency(const ConcurrencyConfig& cfg) {
   for (int i = 0; i < cfg.num_lpt_servers; ++i) {
     flows.push_back(core::make_protocol_flow(world.network, *topo.servers[i],
                                              *topo.front_end, cfg.protocol, opts));
+    inv.watch(*flows.back().sender);
     lpts.push_back(std::make_unique<http::LptSource>(&world.simulator,
                                                      flows.back().sender.get()));
     lpts.back()->run(cfg.lpt_start, cfg.run_until);
@@ -50,6 +61,7 @@ ConcurrencyResult run_concurrency(const ConcurrencyConfig& cfg) {
     flows.push_back(core::make_protocol_flow(world.network, *server, *topo.front_end,
                                              cfg.protocol, opts));
     auto* sender = flows.back().sender.get();
+    inv.watch(*sender);
     spt_senders.push_back(sender);
 
     sim::SimTime t = warmup_start;
@@ -69,6 +81,7 @@ ConcurrencyResult run_concurrency(const ConcurrencyConfig& cfg) {
   }
 
   world.simulator.run_until(cfg.run_until);
+  inv.finish();
 
   ConcurrencyResult result;
   result.total_spts = cfg.num_spt_servers;

@@ -12,6 +12,10 @@
 namespace trim::exp {
 
 ConvergenceResult run_convergence(const ConvergenceConfig& cfg) {
+  require(cfg.num_connections >= 1, "no connections",
+          "ConvergenceConfig::num_connections", ">= 1");
+  require(cfg.stagger > sim::SimTime::zero(), "non-positive stagger",
+          "ConvergenceConfig::stagger", "> 0");
   World world;
 
   topo::ManyToOneConfig topo_cfg;
@@ -31,12 +35,15 @@ ConvergenceResult run_convergence(const ConvergenceConfig& cfg) {
   // stops 12.1..20.1 s with 2 s stagger).
   const auto first_stop = cfg.first_start + cfg.stagger * (n + 1);
 
+  InvariantScope inv{world, cfg.first_start + cfg.stagger * (2 * n + 1)};
+
   std::vector<tcp::Flow> flows;
   std::vector<std::unique_ptr<http::LptSource>> sources;
   std::vector<std::unique_ptr<stats::RateMeter>> meters;
   for (int i = 0; i < n; ++i) {
     flows.push_back(core::make_protocol_flow(world.network, *topo.servers[i],
                                              *topo.front_end, cfg.protocol, opts));
+    inv.watch(*flows.back().sender);
     meters.push_back(std::make_unique<stats::RateMeter>(cfg.bin));
     auto* meter = meters.back().get();
     auto* sim_ptr = &world.simulator;
@@ -51,6 +58,7 @@ ConvergenceResult run_convergence(const ConvergenceConfig& cfg) {
   ConvergenceResult result;
   result.run_end = first_stop + cfg.stagger * n + sim::SimTime::millis(200);
   world.simulator.run_until(result.run_end);
+  inv.finish();
 
   // Full overlap: all flows active between the last start and the first
   // stop. Fairness is judged over the second half of that window so each

@@ -32,6 +32,55 @@ std::uint64_t run_seed(std::uint64_t experiment_tag, int run_index) {
                     (static_cast<std::uint64_t>(run_index) << 17));
 }
 
+bool invariants_enabled() {
+#ifndef NDEBUG
+  return true;
+#else
+  static const bool on = [] {
+    const char* env = std::getenv("TRIM_CHECK_INVARIANTS");
+    return env != nullptr && env[0] == '1';
+  }();
+  return on;
+#endif
+}
+
+InvariantScope::InvariantScope(World& world, sim::SimTime horizon) {
+  if (!invariants_enabled()) return;
+  checker_ = std::make_unique<fault::InvariantChecker>(&world.simulator,
+                                                       &world.network);
+  if (horizon > sim::SimTime::zero()) {
+    // A coarse grid: enough samples to catch a transient leak without
+    // noticeably slowing debug runs.
+    checker_->schedule_checkpoints(horizon.scaled(1.0 / 8.0), horizon);
+  }
+}
+
+std::size_t InvariantScope::finish(bool fail_hard) {
+  finished_ = true;
+  if (!checker_) return 0;
+  checker_->check_now();
+  const auto& violations = checker_->violations();
+  for (const auto& v : violations) {
+    std::fprintf(stderr, "INVARIANT VIOLATION [%s] t=%.6fs: %s\n",
+                 v.invariant.c_str(), v.at.to_seconds(), v.detail.c_str());
+  }
+  if (fail_hard && !violations.empty()) {
+    std::fprintf(stderr, "InvariantScope: %zu violation(s), aborting\n",
+                 violations.size());
+    std::abort();
+  }
+  return violations.size();
+}
+
+InvariantScope::~InvariantScope() {
+  // Too late to inspect senders here (they may already be destroyed);
+  // just flag the missing finish() so the scenario gets fixed.
+  if (checker_ && !finished_) {
+    std::fprintf(stderr, "InvariantScope: finish() never called; invariants "
+                         "were not verified for this run\n");
+  }
+}
+
 void print_banner(const std::string& title, const std::string& paper_ref) {
   std::printf("\n==== %s ====\n", title.c_str());
   std::printf("reproduces: %s (TCP-TRIM, ICDCS 2016)\n", paper_ref.c_str());

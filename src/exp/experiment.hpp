@@ -10,6 +10,10 @@
 //                   exp/parallel_runner.hpp); default hw_concurrency,
 //                   "1" restores the serial path. Output is bit-identical
 //                   at any width (docs/ENGINE.md, "Determinism").
+//   TRIM_CHECK_INVARIANTS
+//                   "1" turns the simulation invariant checker on in
+//                   release builds (always on in debug builds). See
+//                   fault/invariant_checker.hpp and docs/FAULTS.md.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +22,9 @@
 #include <string>
 
 #include "core/sender_factory.hpp"
+#include "fault/invariant_checker.hpp"
 #include "net/network.hpp"
+#include "sim/config_error.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -39,6 +45,59 @@ struct World {
 
 // Seed for (experiment, run) pairs, stable across processes.
 std::uint64_t run_seed(std::uint64_t experiment_tag, int run_index);
+
+// Scenario config validation helper: throws trim::ConfigError carrying
+// what/where/valid-range when `cond` is false.
+inline void require(bool cond, const std::string& what, const std::string& where,
+                    const std::string& valid = {}) {
+  if (!cond) throw ConfigError{what, where, valid};
+}
+
+// Whether the simulation invariant checker runs: always in debug builds,
+// opt-in via TRIM_CHECK_INVARIANTS=1 in release builds (so default bench
+// output is untouched).
+bool invariants_enabled();
+
+// RAII wiring of an InvariantChecker into one scenario run. When checking
+// is disabled every member is a no-op, so scenarios call it
+// unconditionally. Usage:
+//
+//   World world;
+//   InvariantScope inv{world, cfg.run_until};   // checkpoint grid
+//   inv.watch(*flow.sender); ...
+//   world.simulator.run_until(cfg.run_until);
+//   inv.finish();   // final checkpoint; loud failure on any violation
+//
+// finish() must be called while the watched senders are still alive; it
+// prints every violation to stderr and (by default) aborts, so CI cannot
+// miss a broken run. The destructor only warns when finish() was skipped.
+class InvariantScope {
+ public:
+  // `horizon` > 0 schedules periodic checkpoints across the run.
+  explicit InvariantScope(World& world, sim::SimTime horizon = sim::SimTime::zero());
+  ~InvariantScope();
+
+  InvariantScope(const InvariantScope&) = delete;
+  InvariantScope& operator=(const InvariantScope&) = delete;
+
+  void watch(tcp::TcpSender& sender) {
+    if (checker_) checker_->watch(sender);
+  }
+  void watch(fault::FaultInjector& injector) {
+    if (checker_) checker_->watch(injector);
+  }
+
+  // Final checkpoint + report. Returns the violation count (0 when
+  // checking is disabled); with fail_hard, aborts when it is non-zero.
+  std::size_t finish(bool fail_hard = true);
+
+  // Null when checking is disabled.
+  fault::InvariantChecker* checker() { return checker_.get(); }
+
+ private:
+  std::unique_ptr<fault::InvariantChecker> checker_;
+  bool finished_ = false;
+};
 
 // Pretty banner printed by each bench binary.
 void print_banner(const std::string& title, const std::string& paper_ref);

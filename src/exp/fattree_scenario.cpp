@@ -12,7 +12,13 @@
 namespace trim::exp {
 
 FattreeResult run_fattree(const FattreeConfig& cfg) {
+  require(cfg.pods >= 2 && cfg.pods % 2 == 0, "bad fat-tree arity",
+          "FattreeConfig::pods", "even, >= 2");
+  require(cfg.run_until > cfg.big_start && cfg.big_start > cfg.small_start,
+          "bad schedule", "FattreeConfig::small_start/big_start/run_until",
+          "small_start < big_start < run_until");
   World world;
+  InvariantScope inv{world, cfg.run_until};
   sim::Rng rng{cfg.seed};
 
   topo::FatTreeConfig topo_cfg;
@@ -34,6 +40,7 @@ FattreeResult run_fattree(const FattreeConfig& cfg) {
     flows.push_back(core::make_protocol_flow(world.network, *topo.hosts[i],
                                              *topo.hosts[sink], cfg.protocol, opts));
     auto* sender = flows.back().sender.get();
+    inv.watch(*sender);
 
     // Small objects (2-6 KB), spaced on the persistent connection.
     std::uint64_t sent = 0;
@@ -54,6 +61,7 @@ FattreeResult run_fattree(const FattreeConfig& cfg) {
   }
 
   world.simulator.run_until(cfg.run_until);
+  inv.finish();
 
   FattreeResult result;
   result.total_servers = n;

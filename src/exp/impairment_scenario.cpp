@@ -11,7 +11,14 @@
 namespace trim::exp {
 
 ImpairmentResult run_impairment(const ImpairmentConfig& cfg) {
+  require(cfg.num_servers >= 1, "no servers", "ImpairmentConfig::num_servers",
+          ">= 1");
+  require(cfg.run_until > cfg.lpt_start && cfg.lpt_start > cfg.response_start,
+          "bad schedule",
+          "ImpairmentConfig::response_start/lpt_start/run_until",
+          "response_start < lpt_start < run_until");
   World world;
+  InvariantScope inv{world, cfg.run_until};
   sim::Rng rng{cfg.seed};
 
   topo::ManyToOneConfig topo_cfg;
@@ -33,6 +40,7 @@ ImpairmentResult run_impairment(const ImpairmentConfig& cfg) {
   for (int i = 0; i < cfg.num_servers; ++i) {
     flows.push_back(core::make_protocol_flow(world.network, *topo.servers[i],
                                              *topo.front_end, cfg.protocol, opts));
+    inv.watch(*flows.back().sender);
     apps.push_back(std::make_unique<http::HttpResponseApp>(&world.simulator,
                                                            flows.back().sender.get()));
   }
@@ -68,6 +76,7 @@ ImpairmentResult run_impairment(const ImpairmentConfig& cfg) {
   }
 
   world.simulator.run_until(cfg.run_until);
+  inv.finish();
 
   result.throughput_mbps = meter.series_mbps();
   result.all_completed = true;

@@ -13,7 +13,16 @@
 namespace trim::exp {
 
 LargeScaleResult run_large_scale(const LargeScaleConfig& cfg) {
+  require(cfg.num_switches >= 1 && cfg.servers_per_switch >= 1, "empty topology",
+          "LargeScaleConfig::num_switches/servers_per_switch", ">= 1 each");
+  require(cfg.lpt_servers_per_switch >= 0 &&
+              cfg.lpt_servers_per_switch <= cfg.servers_per_switch,
+          "more LPT servers than servers",
+          "LargeScaleConfig::lpt_servers_per_switch", "[0, servers_per_switch]");
+  require(cfg.spt_window > sim::SimTime::zero(), "empty SPT window",
+          "LargeScaleConfig::spt_window", "> 0");
   World world;
+  InvariantScope inv{world, cfg.spt_window + cfg.drain};
   sim::Rng rng{cfg.seed};
 
   topo::TwoTierConfig topo_cfg;
@@ -38,6 +47,7 @@ LargeScaleResult run_large_scale(const LargeScaleConfig& cfg) {
       flows.push_back(core::make_protocol_flow(world.network, *server,
                                                *topo.front_end, cfg.protocol, opts));
       auto* sender = flows.back().sender.get();
+      inv.watch(*sender);
 
       if (h < cfg.lpt_servers_per_switch) {
         lpt_sources.push_back(
@@ -62,6 +72,7 @@ LargeScaleResult run_large_scale(const LargeScaleConfig& cfg) {
   }
 
   world.simulator.run_until(run_until);
+  inv.finish();
 
   LargeScaleResult result;
   stats::Summary summary;

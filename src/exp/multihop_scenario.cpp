@@ -38,7 +38,14 @@ MeteredFlow start_lpt(World& world, net::Host& src, net::Host& dst,
 }  // namespace
 
 MultihopResult run_multihop(const MultihopConfig& cfg) {
+  require(cfg.group_size >= 1, "empty sender groups", "MultihopConfig::group_size",
+          ">= 1");
+  require(cfg.stop > cfg.start && cfg.measure_from >= cfg.start &&
+              cfg.measure_from < cfg.stop,
+          "bad measurement window", "MultihopConfig::start/measure_from/stop",
+          "start <= measure_from < stop");
   World world;
+  InvariantScope inv{world, cfg.stop};
 
   topo::MultiHopConfig topo_cfg;
   topo_cfg.group_size = cfg.group_size;
@@ -57,9 +64,13 @@ MultihopResult run_multihop(const MultihopConfig& cfg) {
                                 cfg.protocol, opts, cfg.start, cfg.stop));
     group_c.push_back(start_lpt(world, *topo.group_c[i], *topo.group_d[i],
                                 cfg.protocol, opts, cfg.start, cfg.stop));
+    inv.watch(*group_a.back().flow.sender);
+    inv.watch(*group_b.back().flow.sender);
+    inv.watch(*group_c.back().flow.sender);
   }
 
   world.simulator.run_until(cfg.stop);
+  inv.finish();
 
   MultihopResult result;
   auto group_mean = [&](const std::vector<MeteredFlow>& group) {

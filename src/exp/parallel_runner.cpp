@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -25,17 +26,43 @@ int parallel_jobs() {
   return jobs;
 }
 
-void for_each_index(std::size_t count, int jobs,
-                    const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
+namespace {
+
+JobFailure capture_failure(std::size_t index) {
+  JobFailure f;
+  f.index = index;
+  f.error = std::current_exception();
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    f.message = e.what();
+  } catch (...) {
+    f.message = "non-std exception";
+  }
+  return f;
+}
+
+}  // namespace
+
+std::vector<JobFailure> for_each_index_collect(
+    std::size_t count, int jobs, const std::function<void(std::size_t)>& fn) {
+  std::vector<JobFailure> failures;
+  if (count == 0) return failures;
   if (jobs <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
+    // Serial path: same containment as the pool — a throwing job is
+    // captured and the remaining indices still run.
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        failures.push_back(capture_failure(i));
+      }
+    }
+    return failures;
   }
 
   std::atomic<std::size_t> cursor{0};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  std::mutex failures_mu;
   auto worker = [&] {
     while (true) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -43,8 +70,9 @@ void for_each_index(std::size_t count, int jobs,
       try {
         fn(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock{error_mu};
-        if (!first_error) first_error = std::current_exception();
+        auto f = capture_failure(i);
+        const std::lock_guard<std::mutex> lock{failures_mu};
+        failures.push_back(std::move(f));
       }
     }
   };
@@ -56,7 +84,23 @@ void for_each_index(std::size_t count, int jobs,
   for (std::size_t t = 1; t < width; ++t) pool.emplace_back(worker);
   worker();  // the caller is the pool's first worker
   for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  // Arrival order depends on scheduling; index order does not.
+  std::sort(failures.begin(), failures.end(),
+            [](const JobFailure& a, const JobFailure& b) { return a.index < b.index; });
+  return failures;
+}
+
+void for_each_index(std::size_t count, int jobs,
+                    const std::function<void(std::size_t)>& fn) {
+  const auto failures = for_each_index_collect(count, jobs, fn);
+  if (!failures.empty()) std::rethrow_exception(failures.front().error);
+}
+
+void report_job_failures(const char* who, const std::vector<JobFailure>& failures) {
+  for (const auto& f : failures) {
+    std::fprintf(stderr, "%s: job %zu failed: %s\n", who, f.index,
+                 f.message.c_str());
+  }
 }
 
 }  // namespace trim::exp

@@ -11,7 +11,12 @@
 namespace trim::exp {
 
 PropertiesResult run_properties(const PropertiesConfig& cfg) {
+  require(cfg.num_lpts >= 1, "no LPT sources", "PropertiesConfig::num_lpts",
+          ">= 1");
+  require(cfg.stop > cfg.start, "empty run window",
+          "PropertiesConfig::start/stop", "start < stop");
   World world;
+  InvariantScope inv{world, cfg.stop};
 
   topo::ManyToOneConfig topo_cfg;
   topo_cfg.num_servers = cfg.num_lpts;
@@ -32,6 +37,7 @@ PropertiesResult run_properties(const PropertiesConfig& cfg) {
   for (int i = 0; i < cfg.num_lpts; ++i) {
     flows.push_back(core::make_protocol_flow(world.network, *topo.servers[i],
                                              *topo.front_end, cfg.protocol, opts));
+    inv.watch(*flows.back().sender);
     auto* sim_ptr = &world.simulator;
     flows.back().receiver->set_deliver_callback(
         [&goodput, sim_ptr](std::uint64_t bytes) {
@@ -44,6 +50,7 @@ PropertiesResult run_properties(const PropertiesConfig& cfg) {
 
   // Let the backlog drain a little past the stop time.
   world.simulator.run_until(cfg.stop + sim::SimTime::millis(100));
+  inv.finish();
 
   result.avg_queue_pkts =
       result.queue_trace.empty() ? 0.0 : result.queue_trace.time_weighted_mean();

@@ -1,0 +1,109 @@
+#include "exp/resilience_scenario.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "http/http_app.hpp"
+#include "topo/many_to_one.hpp"
+
+namespace trim::exp {
+
+void validate(const ResilienceConfig& cfg) {
+  require(cfg.num_servers >= 1 && cfg.num_servers <= 4096, "bad server count",
+          "ResilienceConfig::num_servers", "[1, 4096]");
+  require(cfg.messages_per_server >= 1, "no messages to send",
+          "ResilienceConfig::messages_per_server", ">= 1");
+  require(cfg.message_bytes >= 1, "empty message",
+          "ResilienceConfig::message_bytes", ">= 1");
+  require(cfg.message_gap >= sim::SimTime::zero(), "negative message gap",
+          "ResilienceConfig::message_gap", ">= 0");
+  require(cfg.run_until > cfg.start, "run window is empty",
+          "ResilienceConfig::start/run_until", "start < run_until");
+  require(cfg.min_rto > sim::SimTime::zero(), "non-positive RTO floor",
+          "ResilienceConfig::min_rto", "> 0");
+  fault::validate(cfg.bottleneck_fault);
+  fault::validate(cfg.ack_path_fault);
+}
+
+ResilienceResult run_resilience(const ResilienceConfig& cfg) {
+  validate(cfg);
+  World world;
+
+  topo::ManyToOneConfig topo_cfg;
+  topo_cfg.num_servers = cfg.num_servers;
+  topo_cfg.switch_queue =
+      switch_queue_for(cfg.protocol, topo_cfg.switch_buffer_pkts, topo_cfg.link_bps);
+  const auto topo = build_many_to_one(world.network, topo_cfg);
+
+  // Fault injectors on the bottleneck and (optionally) the front-end's
+  // ACK return path. Only built when the profile enables something, so a
+  // clean config leaves the packet path untouched.
+  std::unique_ptr<fault::FaultInjector> bottleneck_fault, ack_fault;
+  if (cfg.bottleneck_fault.any_enabled()) {
+    bottleneck_fault = std::make_unique<fault::FaultInjector>(&world.simulator,
+                                                              cfg.bottleneck_fault);
+    bottleneck_fault->attach(*topo.bottleneck);
+  }
+  if (cfg.ack_path_fault.any_enabled()) {
+    ack_fault =
+        std::make_unique<fault::FaultInjector>(&world.simulator, cfg.ack_path_fault);
+    ack_fault->attach(topo.front_end->out_link(0));
+  }
+
+  InvariantScope inv{world, cfg.run_until};
+  if (bottleneck_fault) inv.watch(*bottleneck_fault);
+  if (ack_fault) inv.watch(*ack_fault);
+
+  const auto opts = default_options(cfg.protocol, topo_cfg.link_bps, cfg.min_rto);
+
+  std::vector<tcp::Flow> flows;
+  std::vector<std::unique_ptr<http::HttpResponseApp>> apps;
+  std::vector<int> remaining(cfg.num_servers, cfg.messages_per_server - 1);
+  for (int i = 0; i < cfg.num_servers; ++i) {
+    flows.push_back(core::make_protocol_flow(world.network, *topo.servers[i],
+                                             *topo.front_end, cfg.protocol, opts));
+    inv.watch(*flows.back().sender);
+    apps.push_back(std::make_unique<http::HttpResponseApp>(&world.simulator,
+                                                           flows.back().sender.get()));
+    // Closed-loop gapped train: the next response goes out `message_gap`
+    // after the previous one completes, so every message (after the
+    // first) starts from an idle connection — the TRIM probing case.
+    flows.back().sender->add_message_complete_callback(
+        [&, i](std::uint64_t /*msg_id*/, sim::SimTime now) {
+          if (remaining[i] <= 0) return;
+          --remaining[i];
+          apps[i]->schedule_response(now + cfg.message_gap, cfg.message_bytes);
+        });
+    apps[i]->schedule_response(cfg.start, cfg.message_bytes);
+  }
+
+  world.simulator.run_until(cfg.run_until);
+
+  ResilienceResult result;
+  result.messages_total =
+      static_cast<std::uint64_t>(cfg.num_servers) * cfg.messages_per_server;
+  std::uint64_t acked_bytes = 0;
+  for (int i = 0; i < cfg.num_servers; ++i) {
+    acked_bytes += flows[i].sender->bytes_acked();
+    result.total_timeouts += flows[i].sender->stats().timeouts;
+    result.messages_completed += apps[i]->completed();
+  }
+  result.all_completed = result.messages_completed == result.messages_total;
+  const double active_s = (cfg.run_until - cfg.start).to_seconds();
+  result.goodput_mbps = static_cast<double>(acked_bytes) * 8.0 / active_s / 1e6;
+  result.queue_drops = world.network.total_drops();
+  if (bottleneck_fault) result.bottleneck_faults = bottleneck_fault->stats();
+  if (ack_fault) result.ack_faults = ack_fault->stats();
+
+  // Collect (don't abort): the caller decides how loud to fail — the
+  // bench exits non-zero, tests assert on the count.
+  result.invariant_violations = inv.finish(/*fail_hard=*/false);
+  if (inv.checker() != nullptr) {
+    result.invariant_checkpoints = inv.checker()->checkpoints_run();
+  }
+  return result;
+}
+
+}  // namespace trim::exp

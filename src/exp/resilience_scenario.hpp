@@ -1,0 +1,68 @@
+// Resilience under adverse networks: the paper's many-to-one HTTP
+// scenario with a fault injector on the bottleneck (and optionally the
+// ACK return path).
+//
+// Each server sends a train of responses with an idle gap between them —
+// long enough to exceed the RTT, so TCP-TRIM's inter-train probing
+// (Algorithm 1) is exercised on every message — while the configured
+// fault profile (link flaps, Bernoulli or Gilbert-Elliott loss,
+// corruption, duplication, reordering, jitter) perturbs the bottleneck.
+// The run reports goodput, timeout counts, completion, fault statistics,
+// and — when the invariant checker is on — the violation count, which is
+// how bench_resilience proves TRIM's aggression tuning does not break
+// correctness when the network misbehaves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "fault/invariant_checker.hpp"
+#include "tcp/tcp_common.hpp"
+
+namespace trim::exp {
+
+struct ResilienceConfig {
+  tcp::Protocol protocol = tcp::Protocol::kReno;
+  int num_servers = 5;
+  // Gapped message train per server: `messages_per_server` responses of
+  // `message_bytes`, spaced `message_gap` after the previous *write* (the
+  // gap is what trips TRIM's gap detector).
+  int messages_per_server = 20;
+  std::uint64_t message_bytes = 40 * 1460ull;
+  sim::SimTime message_gap = sim::SimTime::millis(20);
+  sim::SimTime start = sim::SimTime::seconds(0.05);
+  sim::SimTime run_until = sim::SimTime::seconds(3.0);
+  sim::SimTime min_rto = sim::SimTime::millis(200);
+  std::uint64_t seed = 1;
+
+  // Fault profile for the bottleneck (switch -> front-end) link; an
+  // all-default FaultConfig means a clean network.
+  fault::FaultConfig bottleneck_fault;
+  // Optional faults on the front-end's ACK return path.
+  fault::FaultConfig ack_path_fault;
+};
+
+// Throws trim::ConfigError (with what/where/valid-range) on a malformed
+// config; run_resilience calls it first.
+void validate(const ResilienceConfig& cfg);
+
+struct ResilienceResult {
+  // Application goodput at the front end: acked response bytes / active
+  // time (start .. run_until).
+  double goodput_mbps = 0.0;
+  std::uint64_t total_timeouts = 0;
+  std::uint64_t messages_completed = 0;
+  std::uint64_t messages_total = 0;
+  bool all_completed = false;
+  std::uint64_t queue_drops = 0;
+  fault::FaultStats bottleneck_faults;
+  fault::FaultStats ack_faults;
+  // Invariant checker output (zeros when checking is disabled).
+  std::uint64_t invariant_checkpoints = 0;
+  std::uint64_t invariant_violations = 0;
+};
+
+ResilienceResult run_resilience(const ResilienceConfig& cfg);
+
+}  // namespace trim::exp

@@ -55,6 +55,12 @@ class ResponseStream {
 }  // namespace
 
 ArctResult run_arct(const ArctConfig& cfg) {
+  require(cfg.background_senders >= 0, "negative background sender count",
+          "ArctConfig::background_senders", ">= 0");
+  require(cfg.num_responses >= 1, "no responses", "ArctConfig::num_responses",
+          ">= 1");
+  require(cfg.mean_response_bytes >= 1, "empty responses",
+          "ArctConfig::mean_response_bytes", ">= 1");
   World world;
   sim::Rng rng{cfg.seed};
 
@@ -71,11 +77,13 @@ ArctResult run_arct(const ArctConfig& cfg) {
 
   // Background elephants saturate the bottleneck for the whole run.
   const auto horizon = sim::SimTime::seconds(120.0);
+  InvariantScope inv{world};
   std::vector<tcp::Flow> flows;
   std::vector<std::unique_ptr<http::LptSource>> elephants;
   for (int i = 0; i < cfg.background_senders; ++i) {
     flows.push_back(core::make_protocol_flow(world.network, *topo.servers[i],
                                              *topo.front_end, cfg.protocol, opts));
+    inv.watch(*flows.back().sender);
     elephants.push_back(std::make_unique<http::LptSource>(
         &world.simulator, flows.back().sender.get(), 512 * 1024));
     elephants.back()->run(sim::SimTime::zero(), horizon);
@@ -86,6 +94,7 @@ ArctResult run_arct(const ArctConfig& cfg) {
                                            *topo.servers[cfg.background_senders],
                                            *topo.front_end, cfg.protocol, opts));
   auto* responder = flows.back().sender.get();
+  inv.watch(*responder);
   const auto lo = static_cast<std::int64_t>(cfg.mean_response_bytes * 0.9);
   const auto hi = static_cast<std::int64_t>(cfg.mean_response_bytes * 1.1);
   ResponseStream stream{
@@ -103,6 +112,7 @@ ArctResult run_arct(const ArctConfig& cfg) {
       break;
     }
   }
+  inv.finish();
 
   ArctResult result;
   stats::Summary summary;
@@ -119,7 +129,12 @@ ArctResult run_arct(const ArctConfig& cfg) {
 }
 
 WebServiceResult run_web_service(const WebServiceConfig& cfg) {
+  require(cfg.num_servers >= 1, "no servers", "WebServiceConfig::num_servers",
+          ">= 1");
+  require(cfg.responses_per_server >= 1, "no responses",
+          "WebServiceConfig::responses_per_server", ">= 1");
   World world;
+  InvariantScope inv{world};
   sim::Rng rng{cfg.seed};
 
   topo::ManyToOneConfig topo_cfg;
@@ -143,6 +158,7 @@ WebServiceResult run_web_service(const WebServiceConfig& cfg) {
   for (int i = 0; i < cfg.num_servers; ++i) {
     flows.push_back(core::make_protocol_flow(world.network, *topo.servers[i],
                                              *topo.front_end, cfg.protocol, opts));
+    inv.watch(*flows.back().sender);
     auto* r = &rngs[i];
     streams.push_back(std::make_unique<ResponseStream>(
         &world.simulator, flows.back().sender.get(), cfg.responses_per_server,
@@ -166,6 +182,7 @@ WebServiceResult run_web_service(const WebServiceConfig& cfg) {
     }
     if (done >= expected) break;
   }
+  inv.finish();
 
   WebServiceResult result;
   result.total = cfg.num_servers * cfg.responses_per_server;

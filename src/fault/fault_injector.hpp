@@ -1,0 +1,165 @@
+// Deterministic, seeded fault injection for links.
+//
+// A FaultInjector attaches to one net::Link and perturbs its packet path
+// with any combination of:
+//
+//   * scheduled link failures / flaps — the link drops everything offered
+//     to it between down_at and up_at (packets already queued or
+//     serializing when the link goes down still complete: the model is a
+//     cut in front of the egress queue, like an interface going down);
+//   * Bernoulli random loss — each offered packet is dropped i.i.d.;
+//   * Gilbert-Elliott bursty loss — a two-state (good/bad) Markov chain
+//     stepped per offered packet, with a distinct loss rate in each state;
+//   * corruption — the packet traverses the link (consuming bandwidth)
+//     but is marked corrupted and discarded by the receiving *host* with a
+//     counter, like a frame failing its checksum;
+//   * duplication — the delivered packet is delivered twice;
+//   * bounded reordering — a randomly selected packet is held back by up
+//     to `reorder_extra_max`, letting later packets overtake it;
+//   * delay jitter — every delivery gets a uniform extra delay in
+//     [0, jitter_max];
+//   * a fixed `added_delay` on every delivery — the "network state changed
+//     while the connection was idle" knob (a longer path after rerouting).
+//
+// Determinism and stream isolation: every fault class draws from its own
+// RNG stream, forked from the profile seed with a per-class tag. A stream
+// is only advanced by its own fault, so enabling or tuning one fault never
+// changes the decisions of another — Bernoulli drops the same packets
+// whether or not jitter is on. With every fault disabled the injector
+// draws no randomness and schedules no events, so an attached-but-idle
+// injector leaves the simulation bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace trim::net {
+class Link;
+}
+
+namespace trim::fault {
+
+// One scheduled outage: the link is down in [down_at, up_at).
+struct FlapSchedule {
+  sim::SimTime down_at;
+  sim::SimTime up_at;
+};
+
+// Two-state Markov loss (Gilbert-Elliott). The chain steps once per packet
+// offered to the link; `enabled()` when either transition is possible.
+struct GilbertElliottConfig {
+  double p_good_to_bad = 0.0;  // per-packet P(good -> bad)
+  double p_bad_to_good = 0.0;  // per-packet P(bad -> good)
+  double loss_good = 0.0;      // loss probability while in the good state
+  double loss_bad = 0.0;       // loss probability while in the bad state
+
+  bool enabled() const { return p_good_to_bad > 0.0 || loss_good > 0.0; }
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+
+  std::vector<FlapSchedule> flaps;       // sorted, non-overlapping
+  double loss_probability = 0.0;         // Bernoulli, per offered packet
+  GilbertElliottConfig gilbert;
+  double corrupt_probability = 0.0;      // per delivered packet
+  double duplicate_probability = 0.0;    // per delivered packet
+  double reorder_probability = 0.0;      // per delivered packet
+  sim::SimTime reorder_extra_max;        // extra hold-back for reordered pkts
+  sim::SimTime jitter_max;               // uniform [0, jitter_max] per delivery
+  sim::SimTime added_delay;              // fixed extra delay per delivery
+
+  // Random faults (everything except flaps) apply only inside this window;
+  // the default window is "always".
+  sim::SimTime active_from = sim::SimTime::zero();
+  sim::SimTime active_until = sim::SimTime::max();
+
+  bool any_enabled() const {
+    return !flaps.empty() || loss_probability > 0.0 || gilbert.enabled() ||
+           corrupt_probability > 0.0 || duplicate_probability > 0.0 ||
+           reorder_probability > 0.0 || jitter_max > sim::SimTime::zero() ||
+           added_delay > sim::SimTime::zero();
+  }
+};
+
+// Throws trim::ConfigError (what / offending field / valid range) on
+// out-of-range probabilities, negative delays, or malformed flap
+// schedules. FaultInjector's constructor calls this; scenario validators
+// call it directly to fail before any world is built.
+void validate(const FaultConfig& cfg);
+
+struct FaultStats {
+  std::uint64_t random_losses = 0;    // Bernoulli + Gilbert-Elliott drops
+  std::uint64_t link_down_drops = 0;  // offered while a flap held the link down
+  std::uint64_t corrupted = 0;        // marked; dropped (and counted) at the host
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t flaps_completed = 0;  // up-events fired so far
+
+  // Packets this injector removed *before* the egress queue. Corrupted
+  // packets are not included: they still traverse the link and are
+  // dropped — and separately counted — at the receiving host.
+  std::uint64_t injected_drops() const { return random_losses + link_down_drops; }
+};
+
+class FaultInjector {
+ public:
+  // Validates `cfg` (throws trim::ConfigError on out-of-range
+  // probabilities or malformed flap schedules).
+  FaultInjector(sim::Simulator* sim, FaultConfig cfg);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Installs this injector on `link` and schedules the flap events. One
+  // injector drives exactly one link (per-link RNG streams are the unit of
+  // determinism); attach a second injector for a second link.
+  void attach(net::Link& link);
+
+  bool link_down() const { return down_; }
+  const FaultStats& stats() const { return stats_; }
+  const FaultConfig& config() const { return cfg_; }
+
+  // Runtime control for tests and staged scenarios: replace the fixed
+  // per-delivery delay (models a path change while connections sit idle).
+  void set_added_delay(sim::SimTime d) { cfg_.added_delay = d; }
+
+  // ---- Link-facing hooks (called by net::Link; not for general use) ----
+  // Offered-side faults: link-down and random loss. Returns false when the
+  // packet must be dropped instead of enqueued.
+  bool offer(const net::Packet& p);
+  // Delivery-side faults, applied when serialization completes: may mark
+  // `p` corrupted; returns the extra delay (jitter/reorder/added) to add
+  // to the propagation delay.
+  sim::SimTime on_deliver(net::Packet& p);
+  // Whether this delivery should be cloned into a duplicate arrival.
+  bool duplicate_now();
+
+ private:
+  bool in_active_window() const;
+
+  sim::Simulator* sim_;
+  FaultConfig cfg_;
+  net::Link* link_ = nullptr;
+  bool down_ = false;
+
+  // One independent stream per fault class (see file comment).
+  sim::Rng loss_rng_;
+  sim::Rng gilbert_rng_;
+  sim::Rng corrupt_rng_;
+  sim::Rng duplicate_rng_;
+  sim::Rng reorder_rng_;
+  sim::Rng jitter_rng_;
+
+  bool gilbert_bad_ = false;
+  std::vector<sim::EventId> flap_events_;
+  FaultStats stats_;
+};
+
+}  // namespace trim::fault

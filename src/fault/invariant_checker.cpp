@@ -1,0 +1,137 @@
+#include "fault/invariant_checker.hpp"
+
+#include <string>
+
+#include "fault/fault_injector.hpp"
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "net/switch.hpp"
+#include "sim/config_error.hpp"
+#include "tcp/tcp_common.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace trim::fault {
+
+InvariantChecker::InvariantChecker(sim::Simulator* sim, net::Network* network)
+    : sim_{sim}, network_{network} {
+  if (sim_ == nullptr || network_ == nullptr) {
+    throw ConfigError{"null simulator or network", "InvariantChecker"};
+  }
+}
+
+void InvariantChecker::watch(tcp::TcpSender& sender) {
+  senders_.push_back(&sender);
+}
+
+void InvariantChecker::watch(FaultInjector& injector) {
+  injectors_.push_back(&injector);
+}
+
+void InvariantChecker::add_check(std::string name,
+                                 std::function<std::optional<std::string>()> fn) {
+  custom_.push_back({std::move(name), std::move(fn)});
+}
+
+void InvariantChecker::report(std::string invariant, std::string detail) {
+  violations_.push_back({std::move(invariant), std::move(detail), sim_->now()});
+}
+
+void InvariantChecker::check_now() {
+  ++checkpoints_;
+  check_conservation();
+  check_senders();
+  for (const auto& c : custom_) {
+    if (auto detail = c.fn()) report(c.name, *detail);
+  }
+}
+
+void InvariantChecker::schedule_checkpoints(sim::SimTime interval,
+                                            sim::SimTime until) {
+  if (interval <= sim::SimTime::zero()) {
+    throw ConfigError{"non-positive checkpoint interval",
+                      "InvariantChecker::schedule_checkpoints", "> 0"};
+  }
+  for (auto t = sim_->now() + interval; t <= until; t = t + interval) {
+    sim_->schedule_at(t, [this] { check_now(); });
+  }
+}
+
+void InvariantChecker::check_conservation() {
+  // Sources: host injections plus fault-made duplicates. Sinks: agent
+  // deliveries, every counted drop, and what is verifiably still inside
+  // the network. See the header for the derivation; per link the in-flight
+  // population is enqueued + duplicates_created - arrivals_fired.
+  std::uint64_t sent = 0, delivered = 0, unroutable = 0, corrupt = 0;
+  for (std::size_t id = 0; id < network_->node_count(); ++id) {
+    net::Node& n = network_->node(static_cast<net::NodeId>(id));
+    if (auto* host = dynamic_cast<net::Host*>(&n)) {
+      sent += host->packets_sent();
+      delivered += host->packets_delivered_to_agent();
+      corrupt += host->corrupt_dropped();
+      unroutable += host->unroutable_packets();
+    } else if (auto* sw = dynamic_cast<net::Switch*>(&n)) {
+      unroutable += sw->unroutable_packets();
+    }
+  }
+
+  std::uint64_t queue_drops = 0, in_network = 0;
+  for (const auto& link : network_->links()) {
+    const auto& qs = link->queue().stats();
+    queue_drops += qs.dropped;
+    in_network += qs.enqueued - link->packets_arrived();
+  }
+
+  std::uint64_t fault_drops = 0, duplicated = 0;
+  for (const auto* inj : injectors_) {
+    fault_drops += inj->stats().injected_drops();
+    duplicated += inj->stats().duplicated;
+  }
+  in_network += duplicated;  // dups enter the wire without an enqueue
+
+  const std::uint64_t sources = sent + duplicated;
+  const std::uint64_t sinks =
+      delivered + unroutable + corrupt + queue_drops + fault_drops + in_network;
+  if (sources != sinks) {
+    report("packet-conservation",
+           "sent=" + std::to_string(sent) + " +dup=" + std::to_string(duplicated) +
+               " != delivered=" + std::to_string(delivered) +
+               " +unroutable=" + std::to_string(unroutable) +
+               " +corrupt=" + std::to_string(corrupt) +
+               " +queue_drops=" + std::to_string(queue_drops) +
+               " +fault_drops=" + std::to_string(fault_drops) +
+               " +in_network=" + std::to_string(in_network));
+  }
+}
+
+void InvariantChecker::check_senders() {
+  // Tolerance for the double-valued window: a bound violated by less than
+  // this is floating-point noise, not a protocol bug.
+  constexpr double kEps = 1e-9;
+  for (const auto* s : senders_) {
+    const std::string who = "flow " + std::to_string(s->flow_id()) + " (" +
+                            tcp::to_string(s->protocol()) + ")";
+    if (s->cwnd() < s->config().min_cwnd - kEps) {
+      report("cwnd-bounds", who + ": cwnd=" + std::to_string(s->cwnd()) +
+                                " < min_cwnd=" + std::to_string(s->config().min_cwnd));
+    }
+    if (s->protocol() == tcp::Protocol::kTrim && s->cwnd() < 2.0 - kEps) {
+      report("trim-cwnd-floor",
+             who + ": cwnd=" + std::to_string(s->cwnd()) + " < 2 (Eq. 1 clamp)");
+    }
+    if (!s->idle() && s->connection_established() &&
+        !s->retransmit_timer_armed() && !s->cc_wakeup_pending()) {
+      report("flow-liveness",
+             who + ": " + std::to_string(s->in_flight()) +
+                 " segment(s) outstanding, snd_una=" + std::to_string(s->snd_una()) +
+                 ", but no RTO armed and no CC wakeup pending");
+    }
+    if (s->cc_suspended() && !s->cc_wakeup_pending() &&
+        !s->retransmit_timer_armed()) {
+      report("probe-state",
+             who + ": transmission suspended with no probe timer and no RTO");
+    }
+  }
+}
+
+}  // namespace trim::fault

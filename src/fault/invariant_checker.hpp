@@ -1,0 +1,110 @@
+// Simulation-wide invariant checker / watchdog.
+//
+// Watches a Network plus any number of TCP senders and fault injectors and
+// verifies, at checkpoints, that the simulation is still self-consistent:
+//
+//   * packet conservation — every packet ever injected by a host (plus
+//     fault-made duplicates) is accounted for: delivered to an agent,
+//     dropped with a counter (queue drop, fault drop, corrupt frame,
+//     unroutable), or demonstrably in the network (queued, serializing, or
+//     propagating on some link). A leak on either side means a counter or
+//     an event went missing;
+//   * cwnd bounds — every watched sender satisfies cwnd >= its configured
+//     minimum; TCP-TRIM senders additionally satisfy the paper's hard
+//     floor cwnd >= 2 (Eq. 1 clamp, Sec. III-C);
+//   * per-flow liveness — a sender with unacked data has something armed
+//     that will move it forward: the retransmission timer or a
+//     congestion-control wakeup (TRIM's probe timer). Without one the flow
+//     is wedged forever;
+//   * probe-state sanity — a TRIM sender that suspended transmission
+//     (probing) must have a pending wakeup or an armed RTO as backstop.
+//
+// Checks run at explicit checkpoints: call check_now() wherever you like,
+// or schedule_checkpoints() to sample on a fixed grid during the run.
+// Checking is read-only — it draws no randomness and mutates nothing — so
+// an enabled checker never changes simulation results.
+//
+// Violations are recorded (not thrown) so a sweep can report every broken
+// run; exp::InvariantScope turns them into a loud failure at scope exit.
+// Custom invariants can be added with add_check().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace trim::net {
+class Network;
+}
+namespace trim::tcp {
+class TcpSender;
+}
+
+namespace trim::fault {
+
+class FaultInjector;
+
+struct Violation {
+  std::string invariant;  // which check failed ("packet-conservation", ...)
+  std::string detail;     // the numbers that disagree
+  sim::SimTime at;        // simulation time of the checkpoint
+};
+
+class InvariantChecker {
+ public:
+  InvariantChecker(sim::Simulator* sim, net::Network* network);
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  // Senders get the cwnd / liveness / probe checks. Lifetime: watched
+  // objects must outlive the checker (or call forget_senders()).
+  void watch(tcp::TcpSender& sender);
+  // Injectors feed the conservation equation (their drops and duplicates
+  // are legitimate packet sources/sinks). An attached-but-unwatched
+  // injector will be reported as a conservation leak — by design.
+  void watch(FaultInjector& injector);
+  void forget_senders() { senders_.clear(); }
+
+  // Custom invariant: return std::nullopt when satisfied, otherwise the
+  // violation detail. Runs at every checkpoint after the built-ins.
+  void add_check(std::string name,
+                 std::function<std::optional<std::string>()> fn);
+
+  // Run every check at the current simulation time.
+  void check_now();
+  // Schedule check_now() at interval, 2*interval, ... up to `until`
+  // (inclusive). Events are scheduled up front so the checker never keeps
+  // an otherwise-finished simulation alive.
+  void schedule_checkpoints(sim::SimTime interval, sim::SimTime until);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t checkpoints_run() const { return checkpoints_; }
+
+  // For custom checks that want richer reporting than the return-string
+  // API: record a violation directly.
+  void report(std::string invariant, std::string detail);
+
+ private:
+  void check_conservation();
+  void check_senders();
+
+  sim::Simulator* sim_;
+  net::Network* network_;
+  std::vector<tcp::TcpSender*> senders_;
+  std::vector<FaultInjector*> injectors_;
+  struct NamedCheck {
+    std::string name;
+    std::function<std::optional<std::string>()> fn;
+  };
+  std::vector<NamedCheck> custom_;
+  std::vector<Violation> violations_;
+  std::uint64_t checkpoints_ = 0;
+};
+
+}  // namespace trim::fault

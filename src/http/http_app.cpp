@@ -1,5 +1,7 @@
 #include "http/http_app.hpp"
 
+#include "sim/config_error.hpp"
+
 #include <stdexcept>
 
 namespace trim::http {
@@ -7,7 +9,7 @@ namespace trim::http {
 HttpResponseApp::HttpResponseApp(sim::Simulator* sim, tcp::TcpSender* sender)
     : sim_{sim}, sender_{sender} {
   if (sim_ == nullptr || sender_ == nullptr) {
-    throw std::invalid_argument("HttpResponseApp: null simulator or sender");
+    throw ConfigError{"null simulator or sender", "HttpResponseApp"};
   }
   sender_->add_message_complete_callback(
       [this](std::uint64_t, sim::SimTime) { ++completed_; });

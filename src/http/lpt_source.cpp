@@ -1,5 +1,7 @@
 #include "http/lpt_source.hpp"
 
+#include "sim/config_error.hpp"
+
 #include <stdexcept>
 
 namespace trim::http {
@@ -8,12 +10,16 @@ LptSource::LptSource(sim::Simulator* sim, tcp::TcpSender* sender,
                      std::uint64_t chunk_bytes)
     : sim_{sim}, sender_{sender}, chunk_bytes_{chunk_bytes} {
   if (sim_ == nullptr || sender_ == nullptr || chunk_bytes_ == 0) {
-    throw std::invalid_argument("LptSource: bad construction parameters");
+    throw ConfigError{"bad construction parameters", "LptSource",
+                      "non-null simulator/sender, train_bytes >= 1"};
   }
 }
 
 void LptSource::run(sim::SimTime start, sim::SimTime stop) {
-  if (running_) throw std::logic_error("LptSource::run called twice");
+  if (running_) {
+    throw ConfigError{"run() called twice", "LptSource::run",
+                      "one active interval per source"};
+  }
   running_ = true;
   stop_ = stop;
   sender_->add_message_complete_callback([this](std::uint64_t, sim::SimTime now) {

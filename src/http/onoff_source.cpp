@@ -1,5 +1,7 @@
 #include "http/onoff_source.hpp"
 
+#include "sim/config_error.hpp"
+
 #include <stdexcept>
 
 namespace trim::http {
@@ -8,12 +10,14 @@ OnOffSource::OnOffSource(sim::Simulator* sim, tcp::TcpSender* sender,
                          TrainWorkload workload, Pacing pacing)
     : sim_{sim}, sender_{sender}, workload_{std::move(workload)}, pacing_{pacing} {
   if (sim_ == nullptr || sender_ == nullptr) {
-    throw std::invalid_argument("OnOffSource: null simulator or sender");
+    throw ConfigError{"null simulator or sender", "OnOffSource"};
   }
 }
 
 void OnOffSource::run(sim::SimTime start, sim::SimTime stop) {
-  if (stop <= start) throw std::invalid_argument("OnOffSource::run: empty interval");
+  if (stop <= start) {
+    throw ConfigError{"empty interval", "OnOffSource::run", "start < stop"};
+  }
   stop_ = stop;
 
   if (pacing_ == Pacing::kAfterCompletion) {

@@ -1,14 +1,20 @@
 #include "net/host.hpp"
 
-#include <stdexcept>
+#include <string>
 
 #include "net/link.hpp"
+#include "sim/config_error.hpp"
 #include "sim/logging.hpp"
 
 namespace trim::net {
 
 void Host::register_agent(FlowId flow, Agent* agent) {
-  if (agent == nullptr) throw std::invalid_argument("Host::register_agent: null agent");
+  if (agent == nullptr) {
+    throw ConfigError{"null agent",
+                      "Host::register_agent, host " + name_ + ", flow " +
+                          std::to_string(flow),
+                      "a live TCP sender/receiver"};
+  }
   if (agents_.empty()) {
     flow_base_ = flow;
     agents_.push_back(nullptr);
@@ -20,7 +26,12 @@ void Host::register_agent(FlowId flow, Agent* agent) {
     agents_.resize(flow - flow_base_ + 1, nullptr);
   }
   Agent*& slot = agents_[flow - flow_base_];
-  if (slot != nullptr) throw std::logic_error("Host::register_agent: duplicate flow id");
+  if (slot != nullptr) {
+    throw ConfigError{"duplicate flow id",
+                      "Host::register_agent, host " + name_ + ", flow " +
+                          std::to_string(flow),
+                      "flow ids must be unique per host"};
+  }
   slot = agent;
   ++agent_count_;
 }
@@ -37,14 +48,26 @@ void Host::unregister_agent(FlowId flow) {
 }
 
 void Host::send(Packet p) {
-  if (out_links_.empty()) throw std::logic_error("Host::send: no uplink attached");
+  if (out_links_.empty()) {
+    throw ConfigError{"no uplink attached", "Host::send, host " + name_,
+                      "attach the host to a link before starting traffic"};
+  }
   p.src = id_;
   // Unique per simulation: high bits = host id, low bits = per-host counter.
   if (p.uid == 0) p.uid = (static_cast<std::uint64_t>(id_) << 40) | ++uid_counter_;
+  ++packets_sent_;
   out_links_[0]->send(std::move(p));
 }
 
 void Host::receive(Packet p) {
+  if (p.corrupted) {
+    // The frame failed its checksum (fault/fault_injector.hpp): it used
+    // link bandwidth but no transport layer ever sees it.
+    ++corrupt_dropped_;
+    TRIM_LOG(sim::LogLevel::kDebug, sim_, "host %s: dropped corrupt %s", name_.c_str(),
+             p.describe().c_str());
+    return;
+  }
   Agent* agent = nullptr;
   if (p.flow >= flow_base_ && p.flow - flow_base_ < agents_.size()) {
     agent = agents_[p.flow - flow_base_];
@@ -55,6 +78,7 @@ void Host::receive(Packet p) {
              p.describe().c_str());
     return;
   }
+  ++delivered_to_agent_;
   agent->on_packet(p);
 }
 

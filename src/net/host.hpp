@@ -31,6 +31,13 @@ class Host : public Node {
 
   std::uint64_t unroutable_packets() const { return unroutable_; }
 
+  // Accounting for the invariant checker (fault/invariant_checker.hpp):
+  // every packet this host injected, handed to an agent, or discarded
+  // because a fault injector corrupted it in flight.
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_delivered_to_agent() const { return delivered_to_agent_; }
+  std::uint64_t corrupt_dropped() const { return corrupt_dropped_; }
+
  private:
   // Dense dispatch table: slot [flow - flow_base_] holds the agent. Flow
   // ids are handed out sequentially per experiment, so the table is a flat
@@ -41,6 +48,9 @@ class Host : public Node {
   std::size_t agent_count_ = 0;
   std::uint64_t unroutable_ = 0;
   std::uint64_t uid_counter_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t delivered_to_agent_ = 0;
+  std::uint64_t corrupt_dropped_ = 0;
 };
 
 }  // namespace trim::net

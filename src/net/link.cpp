@@ -1,11 +1,12 @@
 #include "net/link.hpp"
 
 #include <cassert>
-#include <stdexcept>
 #include <utility>
 
+#include "fault/fault_injector.hpp"
 #include "net/node.hpp"
 #include "net/trace_tap.hpp"
+#include "sim/config_error.hpp"
 
 namespace trim::net {
 
@@ -16,8 +17,12 @@ Link::Link(sim::Simulator* sim, std::string name, std::uint64_t bits_per_sec,
       bps_{bits_per_sec},
       delay_{prop_delay},
       queue_{std::move(queue)} {
-  if (sim_ == nullptr || queue_ == nullptr || bps_ == 0) {
-    throw std::invalid_argument("Link: bad construction parameters");
+  if (sim_ == nullptr || queue_ == nullptr) {
+    throw ConfigError{"Link: bad construction parameters", "link " + name_,
+                      "non-null simulator and queue"};
+  }
+  if (bps_ == 0) {
+    throw ConfigError{"Link: zero bandwidth", "link " + name_, "bits_per_sec > 0"};
   }
 }
 
@@ -33,6 +38,13 @@ void Link::set_tap(TraceTap* tap) {
 }
 
 void Link::send(Packet p) {
+  // Fault ingress: link-down and random loss remove the packet before the
+  // egress queue ever sees it (a cut in front of the interface). The
+  // injector counts these drops in its own stats.
+  if (fault_ != nullptr && !fault_->offer(p)) {
+    if (tap_ != nullptr) tap_->record(PacketEvent::kDropped, p, sim_->now());
+    return;
+  }
   // Drops are recorded via the queue's drop callback (set_tap), so the
   // accept path never copies the packet; on success the tap reads the
   // header back from the queue's tail.
@@ -64,11 +76,38 @@ void Link::on_transmit_done(Packet p) {
   if (tap_ != nullptr) tap_->record(PacketEvent::kDelivered, p, sim_->now());
 
   assert(peer_ != nullptr && "Link::send before set_peer");
-  auto arrive = [peer = peer_, p = std::move(p)]() mutable {
-    peer->receive(std::move(p));
+
+  // Delivery-side faults: corruption marking plus extra delay from jitter,
+  // reordering hold-back, or a fixed added delay; possibly a duplicate.
+  auto extra = sim::SimTime::zero();
+  bool duplicate = false;
+  if (fault_ != nullptr) {
+    extra = fault_->on_deliver(p);
+    duplicate = fault_->duplicate_now();
+  }
+
+  if (duplicate) {
+    // The clone consumes no extra serialization time (a dup on the wire),
+    // but it is a real delivery: counters and the tap both see it.
+    bytes_delivered_ += p.size_bytes();
+    ++packets_delivered_;
+    if (meter_ != nullptr) meter_->add(sim_->now(), p.size_bytes());
+    if (tap_ != nullptr) tap_->record(PacketEvent::kDelivered, p, sim_->now());
+    Packet dup = p;
+    auto arrive_dup = [this, p = std::move(dup)]() mutable {
+      ++packets_arrived_;
+      peer_->receive(std::move(p));
+    };
+    static_assert(sizeof(arrive_dup) <= sim::InlineCallback::kInlineBytes);
+    sim_->schedule(delay_ + extra, std::move(arrive_dup));
+  }
+
+  auto arrive = [this, p = std::move(p)]() mutable {
+    ++packets_arrived_;
+    peer_->receive(std::move(p));
   };
   static_assert(sizeof(arrive) <= sim::InlineCallback::kInlineBytes);
-  sim_->schedule(delay_, std::move(arrive));
+  sim_->schedule(delay_ + extra, std::move(arrive));
 
   if (!queue_->empty()) start_transmission();
 }

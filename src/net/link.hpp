@@ -12,6 +12,10 @@
 #include "sim/simulator.hpp"
 #include "stats/rate_meter.hpp"
 
+namespace trim::fault {
+class FaultInjector;
+}
+
 namespace trim::net {
 
 class Node;
@@ -41,6 +45,9 @@ class Link {
 
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
   std::uint64_t packets_delivered() const { return packets_delivered_; }
+  // Packets whose arrival event at the peer has fired; delivered - arrived
+  // is what is still propagating (the invariant checker reads both).
+  std::uint64_t packets_arrived() const { return packets_arrived_; }
 
   // Optional throughput instrumentation; counts bytes at delivery time.
   void set_delivery_meter(stats::RateMeter* meter) { meter_ = meter; }
@@ -49,6 +56,12 @@ class Link {
   // drop callback on the egress queue so drops are recorded without the
   // send path copying every packet.
   void set_tap(TraceTap* tap);
+
+  // Optional fault injection (see fault/fault_injector.hpp). Installed by
+  // FaultInjector::attach; with no injector (or an all-disabled one) the
+  // packet path is untouched.
+  void set_fault_injector(fault::FaultInjector* f) { fault_ = f; }
+  const fault::FaultInjector* fault_injector() const { return fault_; }
 
  private:
   void start_transmission();
@@ -64,8 +77,10 @@ class Link {
 
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t packets_delivered_ = 0;
+  std::uint64_t packets_arrived_ = 0;
   stats::RateMeter* meter_ = nullptr;
   TraceTap* tap_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace trim::net

@@ -1,12 +1,16 @@
 #include "net/network.hpp"
 
+#include "sim/config_error.hpp"
+
 #include <deque>
 #include <stdexcept>
 
 namespace trim::net {
 
 Network::Network(sim::Simulator* sim) : sim_{sim} {
-  if (sim_ == nullptr) throw std::invalid_argument("Network: null simulator");
+  if (sim_ == nullptr) {
+    throw ConfigError{"null simulator", "Network", "a live sim::Simulator"};
+  }
 }
 
 Host* Network::add_host(std::string name) {

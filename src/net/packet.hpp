@@ -54,6 +54,11 @@ struct Packet {
   EcnCodepoint ecn = EcnCodepoint::kNotEct;
   bool ece = false;  // ACK only: CE echo for the triggering segment
 
+  // Set by a fault injector (fault/fault_injector.hpp): the packet still
+  // consumes link bandwidth but the receiving host discards it, like a
+  // frame failing its checksum.
+  bool corrupted = false;
+
   // Timestamp option: data = send time; ACK = echoed data timestamp.
   sim::SimTime ts;
 

@@ -1,5 +1,7 @@
 #include "net/queue.hpp"
 
+#include "sim/config_error.hpp"
+
 #include <stdexcept>
 
 namespace trim::net {
@@ -57,7 +59,8 @@ bool DropTailQueue::enqueue(Packet p) {
 
 EcnDropTailQueue::EcnDropTailQueue(QueueConfig cfg) : DropTailQueue{cfg} {
   if (!cfg.ecn_enabled()) {
-    throw std::invalid_argument("EcnDropTailQueue: no ECN threshold configured");
+    throw ConfigError{"no ECN threshold configured", "EcnDropTailQueue",
+                      "ecn_threshold_packets or ecn_threshold_bytes > 0"};
   }
 }
 

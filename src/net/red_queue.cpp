@@ -1,5 +1,7 @@
 #include "net/red_queue.hpp"
 
+#include "sim/config_error.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -9,10 +11,13 @@ namespace trim::net {
 
 RedQueue::RedQueue(RedConfig cfg, const sim::Simulator* clock)
     : cfg_{cfg}, rng_state_{cfg.seed} {
-  if (clock == nullptr) throw std::invalid_argument("RedQueue: null clock");
+  if (clock == nullptr) {
+    throw ConfigError{"null clock", "RedQueue", "the owning simulator"};
+  }
   if (cfg_.min_th >= cfg_.max_th || cfg_.max_p <= 0.0 || cfg_.max_p > 1.0 ||
       cfg_.weight <= 0.0 || cfg_.weight > 1.0) {
-    throw std::invalid_argument("RedQueue: invalid RED parameters");
+    throw ConfigError{"invalid RED parameters", "RedQueue",
+                      "min_th < max_th, max_p in (0, 1], weight in (0, 1]"};
   }
   clock_ = clock;  // Queue's clock slot, reused for the idle correction
 }

@@ -1,0 +1,54 @@
+// Structured configuration errors for everything a scenario author can get
+// wrong: topology dimensions, link parameters, protocol knobs, fault
+// profiles, workload schedules.
+//
+// Policy (audited across src/ in PR 3): failures reachable from a scenario
+// or experiment config throw trim::ConfigError carrying *what* is wrong,
+// *where* (which node / flow / parameter), and the valid range — so a sweep
+// runner can report the offending job and keep going. Failures that can
+// only mean a bug inside the simulator (heap invariants, accounting
+// mismatches, stale internal state) stay as assert()s: they are not
+// recoverable and must die loudly in debug builds.
+//
+// ConfigError derives from std::invalid_argument so existing call sites
+// (and tests) that expect std::invalid_argument / std::logic_error keep
+// working unchanged.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace trim {
+
+class ConfigError : public std::invalid_argument {
+ public:
+  // `what`: the problem ("duplicate flow id"). `where`: the entity it
+  // concerns ("host frontend, flow 7"). `valid`: the accepted range or
+  // remedy ("flow ids must be unique per host"). Either context field may
+  // be empty.
+  ConfigError(std::string what, std::string where = {}, std::string valid = {})
+      : std::invalid_argument{format(what, where, valid)},
+        detail_{std::move(what)},
+        where_{std::move(where)},
+        valid_{std::move(valid)} {}
+
+  const std::string& detail() const { return detail_; }
+  const std::string& where() const { return where_; }
+  const std::string& valid_range() const { return valid_; }
+
+ private:
+  static std::string format(const std::string& what, const std::string& where,
+                            const std::string& valid) {
+    std::string msg = what;
+    if (!where.empty()) msg += " [at: " + where + "]";
+    if (!valid.empty()) msg += " [valid: " + valid + "]";
+    return msg;
+  }
+
+  std::string detail_;
+  std::string where_;
+  std::string valid_;
+};
+
+}  // namespace trim

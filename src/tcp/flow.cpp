@@ -1,12 +1,16 @@
 #include "tcp/flow.hpp"
 
+#include "sim/config_error.hpp"
+
 #include <stdexcept>
 
 namespace trim::tcp {
 
 Flow make_flow(net::Network& network, net::Host& src, net::Host& dst,
                const SenderFactory& factory) {
-  if (!factory) throw std::invalid_argument("make_flow: null sender factory");
+  if (!factory) {
+    throw ConfigError{"null sender factory", "make_flow"};
+  }
   Flow flow;
   flow.id = network.new_flow_id();
   flow.receiver = std::make_unique<TcpReceiver>(&dst, flow.id, src.id());

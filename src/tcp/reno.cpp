@@ -1,5 +1,7 @@
 #include "tcp/reno.hpp"
 
+#include "sim/config_error.hpp"
+
 #include <stdexcept>
 
 namespace trim::tcp {
@@ -27,7 +29,8 @@ Protocol protocol_from_string(const std::string& name) {
   if (name == "Vegas" || name == "vegas") return Protocol::kVegas;
   if (name == "D2TCP" || name == "d2tcp") return Protocol::kD2tcp;
   if (name == "GIP" || name == "gip") return Protocol::kGip;
-  throw std::invalid_argument("unknown protocol: " + name);
+  throw ConfigError{"unknown protocol \"" + name + "\"", "protocol_from_string",
+                    "TCP, CUBIC, DCTCP, L2DCT, TCP-TRIM, Vegas, D2TCP, GIP"};
 }
 
 }  // namespace trim::tcp

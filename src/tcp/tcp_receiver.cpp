@@ -1,5 +1,9 @@
 #include "tcp/tcp_receiver.hpp"
 
+#include <string>
+
+#include "sim/config_error.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -12,7 +16,10 @@ TcpReceiver::TcpReceiver(net::Host* host, net::FlowId flow, net::NodeId peer,
       peer_{peer},
       cfg_{cfg},
       sim_{host != nullptr ? host->simulator() : nullptr} {
-  if (host_ == nullptr) throw std::invalid_argument("TcpReceiver: null host");
+  if (host_ == nullptr) {
+    throw ConfigError{"null host",
+                      "TcpReceiver, flow " + std::to_string(flow_)};
+  }
   host_->register_agent(flow_, this);
 }
 

@@ -1,5 +1,9 @@
 #include "tcp/tcp_sender.hpp"
 
+#include <string>
+
+#include "sim/config_error.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -21,8 +25,14 @@ TcpSender::TcpSender(net::Host* host, net::NodeId dst, net::FlowId flow, TcpConf
       sim_{host != nullptr ? host->simulator() : nullptr},
       cwnd_{cfg.initial_cwnd},
       ssthresh_{kInitialSsthresh} {
-  if (host_ == nullptr) throw std::invalid_argument("TcpSender: null host");
-  if (cfg_.mss == 0) throw std::invalid_argument("TcpSender: zero MSS");
+  if (host_ == nullptr) {
+    throw ConfigError{"null host",
+                      "TcpSender, flow " + std::to_string(flow_)};
+  }
+  if (cfg_.mss == 0) {
+    throw ConfigError{"zero MSS", "TcpSender, flow " + std::to_string(flow_),
+                      ">= 1 byte"};
+  }
   established_ = !cfg_.simulate_handshake;
   host_->register_agent(flow_, this);
 }
@@ -33,7 +43,11 @@ TcpSender::~TcpSender() {
 }
 
 std::uint64_t TcpSender::write(std::uint64_t bytes) {
-  if (bytes == 0) throw std::invalid_argument("TcpSender::write: zero bytes");
+  if (bytes == 0) {
+    throw ConfigError{"zero-byte message",
+                      "TcpSender::write, flow " + std::to_string(flow_),
+                      ">= 1 byte"};
+  }
   const SeqNum first_seg = total_segments_;
   const std::uint64_t start_byte = bytes_written_;
   const std::uint64_t nsegs = (bytes + cfg_.mss - 1) / cfg_.mss;

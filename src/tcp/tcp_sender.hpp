@@ -74,6 +74,18 @@ class TcpSender : public net::Agent {
   stats::FlowStats& stats() { return stats_; }
   const stats::FlowStats& stats() const { return stats_; }
 
+  // ---- liveness introspection (invariant checker / tests) ----
+  // Current RTO backoff exponent: 0 after any new ACK, +1 per consecutive
+  // timeout (the armed RTO is base_rto * 2^backoff, capped at max_rto).
+  int rto_backoff() const { return rto_backoff_; }
+  bool retransmit_timer_armed() const { return rto_timer_.valid(); }
+  // True while congestion control has deliberately paused transmission
+  // (TRIM probe suspension). Base TCP never suspends.
+  virtual bool cc_suspended() const { return false; }
+  // True when a CC-owned timer is pending that will resume transmission
+  // (TRIM's probe timer). Pairs with cc_suspended() for liveness checks.
+  virtual bool cc_wakeup_pending() const { return false; }
+
   // Record (time, cwnd) on every window change — Figs. 4(b), 6(b).
   void set_cwnd_trace(stats::TimeSeries* trace) { cwnd_trace_ = trace; }
 

@@ -1,13 +1,16 @@
 #include "topo/fat_tree.hpp"
 
-#include <stdexcept>
 #include <string>
+
+#include "sim/config_error.hpp"
 
 namespace trim::topo {
 
 FatTree build_fat_tree(net::Network& network, const FatTreeConfig& cfg) {
   if (cfg.k < 2 || cfg.k % 2 != 0) {
-    throw std::invalid_argument("build_fat_tree: k must be even and >= 2");
+    throw ConfigError{"fat-tree arity k must be even and >= 2",
+                      "build_fat_tree, k=" + std::to_string(cfg.k),
+                      "even integers >= 2"};
   }
   const int k = cfg.k;
   const int half = k / 2;

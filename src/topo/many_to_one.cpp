@@ -1,12 +1,17 @@
 #include "topo/many_to_one.hpp"
 
-#include <stdexcept>
 #include <string>
+
+#include "sim/config_error.hpp"
 
 namespace trim::topo {
 
 ManyToOne build_many_to_one(net::Network& network, const ManyToOneConfig& cfg) {
-  if (cfg.num_servers < 1) throw std::invalid_argument("build_many_to_one: no servers");
+  if (cfg.num_servers < 1) {
+    throw ConfigError{"no servers", "build_many_to_one, num_servers=" +
+                                        std::to_string(cfg.num_servers),
+                      ">= 1"};
+  }
 
   ManyToOne topo;
   topo.sw = network.add_switch("sw0");

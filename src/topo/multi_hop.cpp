@@ -1,12 +1,17 @@
 #include "topo/multi_hop.hpp"
 
-#include <stdexcept>
 #include <string>
+
+#include "sim/config_error.hpp"
 
 namespace trim::topo {
 
 MultiHop build_multi_hop(net::Network& network, const MultiHopConfig& cfg) {
-  if (cfg.group_size < 1) throw std::invalid_argument("build_multi_hop: empty groups");
+  if (cfg.group_size < 1) {
+    throw ConfigError{"empty sender groups", "build_multi_hop, group_size=" +
+                                                 std::to_string(cfg.group_size),
+                      ">= 1"};
+  }
 
   MultiHop topo;
   const net::QueueConfig switch_q =

@@ -1,13 +1,18 @@
 #include "topo/two_tier.hpp"
 
-#include <stdexcept>
 #include <string>
+
+#include "sim/config_error.hpp"
 
 namespace trim::topo {
 
 TwoTier build_two_tier(net::Network& network, const TwoTierConfig& cfg) {
   if (cfg.num_switches < 1 || cfg.servers_per_switch < 1) {
-    throw std::invalid_argument("build_two_tier: bad dimensions");
+    throw ConfigError{"bad topology dimensions",
+                      "build_two_tier, num_switches=" +
+                          std::to_string(cfg.num_switches) + ", servers_per_switch=" +
+                          std::to_string(cfg.servers_per_switch),
+                      ">= 1 each"};
   }
 
   TwoTier topo;

@@ -1,0 +1,148 @@
+// TRIM's probe machinery (Algorithm 1 / Eq. 1) under injected faults:
+// late probe ACKs, lost probes, and the Eq. 1 clamp at the minimum window.
+#include <gtest/gtest.h>
+
+#include "core/trim_sender.hpp"
+#include "fault/fault_injector.hpp"
+#include "stats/time_series.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "../tcp/tcp_test_util.hpp"
+
+namespace trim::core {
+namespace {
+
+using test::HostPair;
+
+TrimConfig gig_trim() { return TrimConfig::for_link(1'000'000'000, 1460); }
+
+struct TrimFlow {
+  explicit TrimFlow(HostPair& net, TrimConfig trim, tcp::TcpConfig cfg = {})
+      : receiver{&net.b, 1, net.a.id()},
+        sender{&net.a, net.b.id(), 1, cfg, trim} {}
+  tcp::TcpReceiver receiver;
+  TrimSender sender;
+};
+
+// The network's delay grows while the connection sits idle (rerouting onto
+// a longer path): the probe ACK misses the smooth-RTT deadline, so the
+// sender must resume at the paper's fallback cwnd = 2.
+TEST(TrimProbeFault, LateProbeAckResumesAtMinimumWindow) {
+  HostPair net;
+  fault::FaultInjector inj{&net.sim, fault::FaultConfig{}};
+  inj.attach(*net.ab);  // data path
+  TrimFlow f{net, gig_trim()};
+
+  f.sender.write(200 * 1460);  // train 1: builds the window and smooth_RTT
+  net.sim.run();
+  ASSERT_GT(f.sender.cwnd(), 2.0);
+
+  // +5 ms one-way from now on: far beyond the ~112 us smooth RTT, so the
+  // probe ACK cannot make the deadline.
+  inj.set_added_delay(sim::SimTime::millis(5));
+  net.sim.schedule(sim::SimTime::millis(10), [&] { f.sender.write(50 * 1460); });
+  double resumed = -1.0;
+  net.sim.schedule(sim::SimTime::millis(11), [&] { resumed = f.sender.cwnd(); });
+  net.sim.run();
+
+  // The probe timer fired ~one smooth RTT after the probes went out; well
+  // before any 5 ms-delayed ACK could return, cwnd was back at the floor.
+  EXPECT_EQ(resumed, 2.0);
+  EXPECT_GE(f.sender.stats().probe_rounds, 1u);
+  EXPECT_TRUE(f.sender.idle());
+  EXPECT_FALSE(f.sender.probing());
+  EXPECT_EQ(f.receiver.delivered_bytes(), 250u * 1460);
+  EXPECT_EQ(f.sender.stats().timeouts, 0u);  // RTO floor (200 ms) never hit
+}
+
+// Both probes die on the wire (deterministic loss window around the probe
+// instant): the probe timer resumes at cwnd = 2 and the normal loss
+// machinery repairs the train.
+TEST(TrimProbeFault, LostProbesUnderBernoulliLossStillComplete) {
+  HostPair net;
+  fault::FaultConfig fc;
+  fc.seed = 3;
+  fc.loss_probability = 1.0;  // certain loss — but only in the window below
+  fc.active_from = sim::SimTime::millis(20);
+  fc.active_until = sim::SimTime::millis(20) + sim::SimTime::micros(50);
+  fault::FaultInjector inj{&net.sim, fc};
+  inj.attach(*net.ab);
+
+  tcp::TcpConfig cfg;
+  cfg.min_rto = sim::SimTime::millis(10);
+  TrimFlow f{net, gig_trim(), cfg};
+  stats::TimeSeries cwnd_trace;
+  f.sender.set_cwnd_trace(&cwnd_trace);
+
+  f.sender.write(100 * 1460);  // train 1, before the loss window
+  net.sim.run();
+  ASSERT_TRUE(f.sender.idle());
+
+  // Train 2 starts exactly inside the loss window: its two probes are the
+  // only packets offered there, and both are dropped.
+  net.sim.schedule_at(sim::SimTime::millis(20), [&] { f.sender.write(50 * 1460); });
+  net.sim.run();
+
+  EXPECT_EQ(inj.stats().random_losses, 2u);
+  EXPECT_GE(f.sender.stats().probe_rounds, 1u);
+  EXPECT_TRUE(f.sender.idle());
+  EXPECT_EQ(f.receiver.delivered_bytes(), 150u * 1460);
+  // Recovery went through the RTO path, and the window never broke the
+  // paper's floor of 2 on the way.
+  EXPECT_GE(f.sender.stats().timeouts, 1u);
+  EXPECT_GE(cwnd_trace.min_value(), 2.0);
+}
+
+// Eq. 1 with a congested probe RTT: probe_RTT > 2 * min_RTT makes the
+// tuning expression non-positive, and the implementation must clamp the
+// resumed window at exactly the TCP minimum of 2 (Sec. III-C).
+TEST(TrimProbeFault, EquationOneClampsAtTwo) {
+  HostPair net;
+  // Faults on the ACK return path: data packets fly clean, so min_RTT
+  // (learned in phase 1) stays at the true ~112 us base RTT.
+  fault::FaultInjector inj{&net.sim, fault::FaultConfig{}};
+  inj.attach(*net.ba);
+  TrimFlow f{net, gig_trim()};
+
+  f.sender.write(200 * 1460);  // phase 1: clean train fixes min_RTT
+  net.sim.run();
+  const auto min_rtt = f.sender.min_rtt();
+  ASSERT_LT(min_rtt, sim::SimTime::micros(150));
+
+  // Phase 2: +2 ms on every ACK inflates smooth_RTT (the probe deadline)
+  // to the millisecond range while min_RTT keeps its clean value.
+  inj.set_added_delay(sim::SimTime::millis(2));
+  net.sim.schedule(sim::SimTime::millis(10), [&] { f.sender.write(100 * 1460); });
+  net.sim.run();
+  ASSERT_TRUE(f.sender.idle());
+  ASSERT_GT(f.sender.smooth_rtt(), sim::SimTime::millis(1));
+  ASSERT_EQ(f.sender.min_rtt(), min_rtt);
+
+  // Phase 3: a +300 us probe RTT — comfortably within the inflated
+  // deadline (so the ACKs count), but over 2 * min_RTT, so Eq. 1 goes
+  // non-positive and the clamp must land on exactly 2.
+  inj.set_added_delay(sim::SimTime::micros(300));
+  const auto t3 = net.sim.now() + sim::SimTime::millis(10);
+  net.sim.schedule_at(t3, [&] { f.sender.write(100 * 1460); });
+  double tuned = -1.0;
+  bool still_probing = true;
+  net.sim.schedule_at(t3 + sim::SimTime::micros(500), [&] {
+    tuned = f.sender.cwnd();
+    still_probing = f.sender.probing();
+  });
+  net.sim.run();
+
+  // By +500 us both probe ACKs are back (RTT ~412 us < the ~2 ms deadline,
+  // so this is the Eq. 1 path, not the probe-timeout path — probing is
+  // over well before the timer would have fired). Eq. 1 clamped the resumed
+  // window to 2; the probe ACK's own congestion-avoidance growth can have
+  // nudged it up by at most 2 * 1/cwnd since.
+  EXPECT_FALSE(still_probing);
+  EXPECT_GE(tuned, 2.0);
+  EXPECT_LT(tuned, 3.0);
+  EXPECT_TRUE(f.sender.idle());
+  EXPECT_EQ(f.receiver.delivered_bytes(), 400u * 1460);
+  EXPECT_EQ(f.sender.stats().timeouts, 0u);
+}
+
+}  // namespace
+}  // namespace trim::core

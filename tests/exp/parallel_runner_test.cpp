@@ -56,6 +56,72 @@ TEST(ParallelRunner, TaskExceptionIsRethrownOnCaller) {
       std::runtime_error);
 }
 
+// Failure containment: a throwing task must not take down its worker — on
+// both the serial and the parallel path every other index still runs, and
+// the failures come back sorted by index.
+TEST(ParallelRunner, CollectRunsEveryIndexDespiteFailures) {
+  for (const int jobs : {1, 4}) {
+    std::vector<std::atomic<int>> hits(32);
+    const auto failures =
+        for_each_index_collect(hits.size(), jobs, [&](std::size_t i) {
+          hits[i].fetch_add(1);
+          if (i % 10 == 3) throw std::runtime_error{"job " + std::to_string(i)};
+        });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "jobs=" << jobs;
+    ASSERT_EQ(failures.size(), 3u) << "jobs=" << jobs;  // indices 3, 13, 23
+    for (std::size_t k = 0; k < failures.size(); ++k) {
+      EXPECT_EQ(failures[k].index, 3 + 10 * k);
+      EXPECT_EQ(failures[k].message, "job " + std::to_string(3 + 10 * k));
+      EXPECT_TRUE(failures[k].error != nullptr);
+    }
+  }
+}
+
+// The rethrow picks the lowest-index failure — deterministic no matter
+// which worker hit which exception first.
+TEST(ParallelRunner, RethrowsLowestIndexFailure) {
+  try {
+    for_each_index(64, 8, [](std::size_t i) {
+      if (i == 7 || i == 11 || i == 50) {
+        throw std::runtime_error{"task " + std::to_string(i)};
+      }
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 7");
+  }
+}
+
+TEST(ParallelRunner, CollectKeepsSurvivingResultsDeterministic) {
+  std::vector<int> configs(24);
+  std::iota(configs.begin(), configs.end(), 0);
+  const auto [results, failures] =
+      run_parallel_collect(configs, [](const int& c) {
+        if (c % 7 == 5) throw std::invalid_argument{"bad config"};
+        return c * 3;
+      });
+  ASSERT_EQ(results.size(), configs.size());
+  ASSERT_EQ(failures.size(), 3u);  // configs 5, 12, 19
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i % 7 == 5) {
+      EXPECT_EQ(results[i], 0);  // failed slot: default-constructed
+    } else {
+      EXPECT_EQ(results[i], static_cast<int>(i) * 3);
+    }
+  }
+}
+
+TEST(ParallelRunner, NonStdExceptionGetsPlaceholderMessage) {
+  const auto failures = for_each_index_collect(
+      4, 2, [](std::size_t i) {
+        if (i == 2) throw 42;  // not derived from std::exception
+      });
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].index, 2u);
+  EXPECT_FALSE(failures[0].message.empty());
+  EXPECT_TRUE(failures[0].error != nullptr);
+}
+
 // The determinism contract: a batch of real scenario runs produces results
 // byte-identical to the serial loop, at any worker width. Each run owns an
 // isolated World and a config-derived seed, so scheduling cannot leak in.

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "exp/resilience_scenario.hpp"
+#include "sim/config_error.hpp"
+
+namespace trim::exp {
+namespace {
+
+ResilienceConfig quick_config(tcp::Protocol protocol) {
+  ResilienceConfig cfg;
+  cfg.protocol = protocol;
+  cfg.num_servers = 3;
+  cfg.messages_per_server = 5;
+  cfg.run_until = sim::SimTime::seconds(1.0);
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(ResilienceScenario, ValidationRejectsBadConfigsWithContext) {
+  {
+    ResilienceConfig cfg = quick_config(tcp::Protocol::kReno);
+    cfg.num_servers = 0;
+    EXPECT_THROW(validate(cfg), ConfigError);
+  }
+  {
+    ResilienceConfig cfg = quick_config(tcp::Protocol::kReno);
+    cfg.run_until = cfg.start;  // empty window
+    EXPECT_THROW(validate(cfg), ConfigError);
+  }
+  {
+    // Fault profile validation is part of scenario validation.
+    ResilienceConfig cfg = quick_config(tcp::Protocol::kReno);
+    cfg.bottleneck_fault.loss_probability = 2.0;
+    try {
+      validate(cfg);
+      FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+      EXPECT_EQ(e.where(), "FaultConfig::loss_probability");
+    }
+  }
+}
+
+TEST(ResilienceScenario, CleanRunCompletesForEveryProtocol) {
+  for (auto protocol :
+       {tcp::Protocol::kReno, tcp::Protocol::kDctcp, tcp::Protocol::kTrim}) {
+    const auto r = run_resilience(quick_config(protocol));
+    EXPECT_TRUE(r.all_completed) << tcp::to_string(protocol);
+    EXPECT_EQ(r.messages_completed, 15u);
+    EXPECT_GT(r.goodput_mbps, 0.0);
+    EXPECT_EQ(r.invariant_violations, 0u);
+  }
+}
+
+TEST(ResilienceScenario, FaultyRunStaysInvariantCleanAndDeterministic) {
+  auto cfg = quick_config(tcp::Protocol::kTrim);
+  cfg.bottleneck_fault.seed = 4;
+  cfg.bottleneck_fault.loss_probability = 0.02;
+  cfg.bottleneck_fault.duplicate_probability = 0.02;
+  cfg.bottleneck_fault.jitter_max = sim::SimTime::micros(50);
+
+  const auto a = run_resilience(cfg);
+  const auto b = run_resilience(cfg);
+  EXPECT_GT(a.bottleneck_faults.injected_drops() + a.bottleneck_faults.duplicated,
+            0u);
+  EXPECT_EQ(a.invariant_violations, 0u);
+  // Same config, same seed: bit-identical outcome.
+  EXPECT_EQ(a.goodput_mbps, b.goodput_mbps);
+  EXPECT_EQ(a.total_timeouts, b.total_timeouts);
+  EXPECT_EQ(a.messages_completed, b.messages_completed);
+  EXPECT_EQ(a.bottleneck_faults.random_losses, b.bottleneck_faults.random_losses);
+}
+
+}  // namespace
+}  // namespace trim::exp

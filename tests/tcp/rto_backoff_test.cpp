@@ -1,0 +1,152 @@
+// Exponential RTO backoff: consecutive timeouts double the armed RTO,
+// the doubling caps at max_rto, and the first new ACK resets the backoff.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tcp/reno.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp_test_util.hpp"
+
+namespace trim::tcp {
+namespace {
+
+using test::HostPair;
+
+struct RenoFlow {
+  explicit RenoFlow(HostPair& net, TcpConfig cfg = {})
+      : receiver{&net.b, 1, net.a.id()}, sender{&net.a, net.b.id(), 1, cfg} {}
+  TcpReceiver receiver;
+  RenoSender sender;
+};
+
+// Establish the connection and warm the RTT estimator with one clean
+// segment, so the base RTO is the configured floor (RTT ~112 us << min_rto).
+void establish(HostPair& net, RenoFlow& f) {
+  f.sender.write(1460);
+  net.sim.run();
+  ASSERT_TRUE(f.sender.idle());
+  ASSERT_EQ(f.sender.rto_backoff(), 0);
+}
+
+// Poll the timeout counter on a fixed grid and record when it changes —
+// reconstructs the firing times without touching the sender's internals.
+std::vector<sim::SimTime> record_timeout_times(HostPair& net, sim::SimTime from,
+                                               sim::SimTime until, RenoFlow& f) {
+  auto times = std::make_shared<std::vector<sim::SimTime>>();
+  auto last = std::make_shared<std::uint64_t>(0);
+  for (auto t = from; t <= until; t += sim::SimTime::micros(100)) {
+    net.sim.schedule_at(t, [&net, &f, times, last] {
+      const auto now_count = f.sender.stats().timeouts;
+      while (*last < now_count) {
+        times->push_back(net.sim.now());
+        ++*last;
+      }
+    });
+  }
+  net.sim.run_until(until);
+  return *times;
+}
+
+TEST(RtoBackoff, ConsecutiveTimeoutsDoubleTheRto) {
+  HostPair net;
+  TcpConfig cfg;
+  cfg.min_rto = sim::SimTime::millis(10);
+  RenoFlow f{net, cfg};
+  establish(net, f);
+
+  // Black-hole every subsequent data packet: each RTO retransmission is
+  // eaten too, so the backoff climbs one step per firing.
+  net.data_queue->drop_next_data(1000);
+  const auto t0 = net.sim.now();
+  f.sender.write(4 * 1460);
+
+  // Expected firings: t0 + 10 ms, then +20, +40, +80 (doubling each time).
+  const auto times =
+      record_timeout_times(net, t0, t0 + sim::SimTime::millis(200), f);
+  ASSERT_GE(times.size(), 4u);
+  const auto tol = sim::SimTime::micros(200);  // polling grid + queueing slop
+  std::vector<double> expected_ms = {10, 30, 70, 150};
+  for (std::size_t i = 0; i < expected_ms.size(); ++i) {
+    const auto expected = t0 + sim::SimTime::millis(expected_ms[i]);
+    EXPECT_GE(times[i], expected - tol) << "timeout " << i;
+    EXPECT_LE(times[i], expected + tol) << "timeout " << i;
+  }
+  EXPECT_GE(f.sender.rto_backoff(), 4);
+}
+
+TEST(RtoBackoff, DoublingCapsAtMaxRto) {
+  HostPair net;
+  TcpConfig cfg;
+  cfg.min_rto = sim::SimTime::millis(10);
+  cfg.max_rto = sim::SimTime::millis(20);
+  RenoFlow f{net, cfg};
+  establish(net, f);
+
+  net.data_queue->drop_next_data(1000);
+  const auto t0 = net.sim.now();
+  f.sender.write(4 * 1460);
+
+  // With the cap at 20 ms the gaps are 10, 20, 20, 20, ... — never 40.
+  const auto times =
+      record_timeout_times(net, t0, t0 + sim::SimTime::millis(120), f);
+  ASSERT_GE(times.size(), 5u);
+  const auto tol = sim::SimTime::micros(200);
+  for (std::size_t i = 2; i < 5; ++i) {
+    const auto gap = times[i] - times[i - 1];
+    EXPECT_GE(gap, sim::SimTime::millis(20) - tol) << "gap " << i;
+    EXPECT_LE(gap, sim::SimTime::millis(20) + tol) << "gap " << i;
+  }
+}
+
+TEST(RtoBackoff, NewAckResetsBackoffAndTransferCompletes) {
+  HostPair net;
+  TcpConfig cfg;
+  cfg.min_rto = sim::SimTime::millis(10);
+  RenoFlow f{net, cfg};
+  establish(net, f);
+
+  // Two initial transmissions and the first RTO retransmission vanish;
+  // the second retransmission gets through and the backoff must clear.
+  net.data_queue->drop_next_data(3);
+  f.sender.write(2 * 1460);
+  net.sim.run();
+  EXPECT_TRUE(f.sender.idle());
+  EXPECT_EQ(f.receiver.delivered_bytes(), 3u * 1460);  // incl. establish()
+  EXPECT_EQ(f.sender.stats().timeouts, 2u);
+  EXPECT_EQ(f.sender.rto_backoff(), 0);
+  EXPECT_FALSE(f.sender.retransmit_timer_armed());
+}
+
+// The backoff applies to the armed timer, not just a counter: after two
+// unanswered timeouts the next firing takes 4x the base RTO, and a
+// successful ACK re-arms future RTOs at the base value again.
+TEST(RtoBackoff, RecoveryReturnsToBaseRto) {
+  HostPair net;
+  TcpConfig cfg;
+  cfg.min_rto = sim::SimTime::millis(10);
+  RenoFlow f{net, cfg};
+  establish(net, f);
+
+  net.data_queue->drop_next_data(3);  // original + two RTO retransmissions
+  const auto t0 = net.sim.now();
+  f.sender.write(1460);
+  net.sim.run();
+  ASSERT_TRUE(f.sender.idle());
+  // Firings at ~10 and ~30 ms; delivery at ~70 ms. Backoff cleared by the ACK.
+  EXPECT_EQ(f.sender.stats().timeouts, 3u);
+  EXPECT_EQ(f.sender.rto_backoff(), 0);
+  EXPECT_GT(net.sim.now() - t0, sim::SimTime::millis(69));
+
+  // A later loss starts again from the base RTO, not the backed-off one.
+  net.data_queue->drop_next_data(1);
+  const auto t1 = net.sim.now();
+  f.sender.write(1460);
+  net.sim.run();
+  EXPECT_TRUE(f.sender.idle());
+  const auto repair = net.sim.now() - t1;
+  EXPECT_LT(repair, sim::SimTime::millis(15));  // one base RTO, no backoff
+}
+
+}  // namespace
+}  // namespace trim::tcp
