@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "bench_util.hpp"
 #include "exp/experiment.hpp"
 #include "exp/impairment_scenario.hpp"
 #include "exp/properties_scenario.hpp"
@@ -23,6 +24,7 @@ struct AblationOutcome {
   std::uint64_t drops = 0;
   double max_queue = 0.0;
   double last_done_s = 0.0;
+  obs::TelemetrySnapshot telemetry;
 };
 
 // The Fig. 4/6 impairment scenario with hand-built TRIM senders so the
@@ -70,6 +72,7 @@ AblationOutcome run_ablated(bool probe, bool queue_control, std::uint64_t seed) 
   }
   out.drops = world.network.total_drops();
   out.max_queue = queue_trace.empty() ? 0.0 : queue_trace.max_value();
+  out.telemetry = world.telemetry_snapshot();
   return out;
 }
 
@@ -79,6 +82,8 @@ int main() {
   exp::print_banner("Ablation — which TRIM mechanism buys what",
                     "Sec. III design choices (not a paper figure)");
 
+  obs::RunReport report{"ablation_trim"};
+  obs::TelemetrySnapshot tele;
   stats::Table table{{"probe (Alg.1)", "queue ctl (Eq.3)", "timeouts", "drops",
                       "max queue", "all done by (s)"}};
   for (bool probe : {false, true}) {
@@ -89,9 +94,23 @@ int main() {
                      stats::Table::integer(static_cast<long long>(r.drops)),
                      stats::Table::num(r.max_queue, 0),
                      stats::Table::num(r.last_done_s, 3)});
+      tele.merge(r.telemetry);
+      report.add_row(std::string("probe_") + (probe ? "on" : "off") + "_qc_" +
+                         (qc ? "on" : "off"),
+                     {{"timeouts", static_cast<double>(r.timeouts)},
+                      {"drops", static_cast<double>(r.drops)},
+                      {"max_queue", r.max_queue},
+                      {"probe_enters",
+                       static_cast<double>(
+                           r.telemetry.events[obs::EventKind::kTrimProbeEnter])},
+                      {"eq3_cuts",
+                       static_cast<double>(
+                           r.telemetry.events[obs::EventKind::kTrimQueueCutEq3])}});
     }
   }
   table.print();
+  report.set_telemetry(std::move(tele));
+  bench::finish_report(report);
   std::printf(
       "expected: probing kills the window-inheritance burst (timeouts at the\n"
       "0.5 s LPT); queue control keeps the standing queue shallow during the\n"

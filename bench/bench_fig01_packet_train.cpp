@@ -79,5 +79,12 @@ int main() {
     }
   }
   std::printf("max SPT packets: %u, max LPT packets: %u\n", max_spt, max_lpt);
+
+  obs::RunReport report{"fig01_packet_train"};
+  report.set_telemetry(world.telemetry_snapshot());
+  report.add_scalar("trains", static_cast<double>(trains.size()));
+  report.add_scalar("spts", spts);
+  report.add_scalar("lpts", lpts);
+  bench::finish_report(report);
   return 0;
 }

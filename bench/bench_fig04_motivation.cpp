@@ -21,6 +21,12 @@ int main() {
   cfg.seed = exp::run_seed(0x0401, 0);
   const auto r = run_impairment(cfg);
 
+  obs::RunReport report{"fig04_motivation"};
+  report.set_telemetry(r.telemetry);
+  report.add_scalar("total_drops", static_cast<double>(r.total_drops));
+  report.add_scalar("last_lpt_completion_s", r.last_lpt_completion.to_seconds());
+  bench::finish_report(report);
+
   bench::print_series("(a) bottleneck throughput (10 ms bins):",
                       r.throughput_mbps, 30, " Mbps");
   stats::maybe_write_series("fig04a_throughput", r.throughput_mbps, "mbps");

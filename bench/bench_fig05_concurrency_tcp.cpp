@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "exp/concurrency_scenario.hpp"
 #include "exp/experiment.hpp"
 #include "stats/summary.hpp"
@@ -37,6 +38,12 @@ int main() {
   }
   const auto results = run_concurrency_batch(cfgs);
 
+  obs::RunReport report{"fig05_concurrency_tcp"};
+  bench::merge_telemetry(report, results);
+  for (const auto& r : results) {
+    for (const auto& fs : r.flow_summaries) report.add_flow(fs);
+  }
+
   stats::Table table{{"#SPT servers", "#LPTs", "ACT (ms)", "min (ms)", "max (ms)",
                       "SPT timeouts"}};
   std::size_t next = 0;
@@ -55,9 +62,15 @@ int main() {
                      stats::Table::num(act.mean(), 2), stats::Table::num(mn.mean(), 2),
                      stats::Table::num(mx.mean(), 2),
                      stats::Table::integer(static_cast<long long>(timeouts))});
+      report.add_row("spt" + std::to_string(spts) + "_lpt" + std::to_string(lpts),
+                     {{"act_ms", act.mean()},
+                      {"min_ms", mn.mean()},
+                      {"max_ms", mx.mean()},
+                      {"spt_timeouts", static_cast<double>(timeouts)}});
     }
   }
   table.print();
+  bench::finish_report(report);
   std::printf(
       "paper shape: ACT grows with #LPTs; with 2 LPTs it becomes unacceptably\n"
       "high (RTO-dominated, ~100x the no-LPT case); max completion grows with\n"

@@ -48,6 +48,10 @@ int main() {
            {{"runs", static_cast<double>(cfgs.size())},
             {"wall_seconds", batch_wall}});
 
+  obs::RunReport report{"fig08_large_scale"};
+  bench::merge_telemetry(report, results);
+  report.add_scalar("runs", static_cast<double>(cfgs.size()));
+
   std::size_t next = 0;
   for (auto spacing : {exp::SptSpacing::kUniform, exp::SptSpacing::kExponential}) {
     std::printf("SPT start-time distribution: %s\n",
@@ -72,10 +76,17 @@ int main() {
                      stats::Table::num(reduction * 100.0, 0) + "%",
                      stats::Table::num(tcp_max.mean(), 1),
                      stats::Table::num(trim_max.mean(), 1)});
+      report.add_row(
+          std::string(spacing == exp::SptSpacing::kUniform ? "uniform" : "exp") +
+              "_sw" + std::to_string(sw),
+          {{"tcp_act_ms", tcp_act.mean()},
+           {"trim_act_ms", trim_act.mean()},
+           {"reduction", reduction}});
     }
     table.print();
     std::printf("\n");
   }
+  bench::finish_report(report);
   std::printf(
       "paper shape: TRIM reduces SPT ACT by up to 80%%; beyond 840 servers\n"
       "the benefit remains about 50%%.\n");

@@ -15,6 +15,9 @@ using namespace trim;
 int main() {
   exp::print_banner("Fig. 9 — queue length, drops and goodput", "Sec. IV-B, Fig. 9");
 
+  obs::RunReport report{"fig09_properties"};
+  obs::TelemetrySnapshot tele;
+
   // (a) queue traces with 5 LPTs.
   for (auto proto : {tcp::Protocol::kReno, tcp::Protocol::kTrim}) {
     exp::PropertiesConfig cfg;
@@ -28,6 +31,7 @@ int main() {
         "fig09a_queue_" + tcp::to_string(proto),
         r.queue_trace.downsampled(20000), "packets");
     std::printf("\n");
+    tele.merge(r.telemetry);
   }
 
   // (b)-(d): sweep the number of concurrent long trains, RTO 1 ms as in
@@ -53,8 +57,19 @@ int main() {
                    stats::Table::integer(static_cast<long long>(trim_r.drops)),
                    stats::Table::num(tcp_r.goodput_mbps, 0) + " Mbps",
                    stats::Table::num(trim_r.goodput_mbps, 0) + " Mbps"});
+    tele.merge(tcp_r.telemetry);
+    tele.merge(trim_r.telemetry);
+    report.add_row("lpts" + std::to_string(n),
+                   {{"tcp_aql_pkts", tcp_r.avg_queue_pkts},
+                    {"trim_aql_pkts", trim_r.avg_queue_pkts},
+                    {"tcp_drops", static_cast<double>(tcp_r.drops)},
+                    {"trim_drops", static_cast<double>(trim_r.drops)},
+                    {"tcp_goodput_mbps", tcp_r.goodput_mbps},
+                    {"trim_goodput_mbps", trim_r.goodput_mbps}});
   }
   table.print();
+  report.set_telemetry(std::move(tele));
+  bench::finish_report(report);
   std::printf(
       "paper shape: TCP sawtooths into the 100-pkt ceiling and drops more as\n"
       "concurrency rises; TRIM's AQL stays small and stable with zero drops\n"

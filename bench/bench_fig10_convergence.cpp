@@ -13,6 +13,8 @@ using namespace trim;
 int main() {
   exp::print_banner("Fig. 10 — convergence to fair share", "Sec. IV-B, Fig. 10");
 
+  obs::RunReport report{"fig10_convergence"};
+  obs::TelemetrySnapshot tele;
   for (auto proto : {tcp::Protocol::kReno, tcp::Protocol::kTrim}) {
     exp::ConvergenceConfig cfg;
     cfg.protocol = proto;
@@ -35,7 +37,12 @@ int main() {
     table.print();
     std::printf("Jain fairness index (full overlap, settled): %.4f\n\n",
                 r.jain_full_overlap);
+    tele.merge(r.telemetry);
+    report.add_row(tcp::to_string(proto),
+                   {{"jain_full_overlap", r.jain_full_overlap}});
   }
+  report.set_telemetry(std::move(tele));
+  bench::finish_report(report);
   std::printf(
       "paper shape: both are roughly fair on average, but TRIM converges\n"
       "quickly with little variation while TCP shows large swings.\n");

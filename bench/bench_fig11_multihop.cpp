@@ -2,6 +2,7 @@
 // groups A (both bottlenecks), B and C, TCP vs TCP-TRIM.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "exp/experiment.hpp"
 #include "exp/multihop_scenario.hpp"
 #include "stats/table.hpp"
@@ -32,6 +33,17 @@ int main() {
                    stats::Table::integer(static_cast<long long>(r.drops))});
   }
   table.print();
+  obs::RunReport report{"fig11_multihop"};
+  bench::merge_telemetry(report, results);
+  for (int k = 0; k < 2; ++k) {
+    report.add_row(k == 0 ? "tcp" : "trim",
+                   {{"group_a_mbps", results[k].group_a_mbps},
+                    {"group_b_mbps", results[k].group_b_mbps},
+                    {"group_c_mbps", results[k].group_c_mbps},
+                    {"timeouts", static_cast<double>(results[k].timeouts)},
+                    {"drops", static_cast<double>(results[k].drops)}});
+  }
+  bench::finish_report(report);
   std::printf(
       "paper reference: TRIM 342.7 / 638 / ~318 Mbps vs TCP 259 / 471 / 233;\n"
       "shape: TCP suffers buffer overflows and timeouts on both bottlenecks,\n"

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "exp/experiment.hpp"
 #include "exp/fattree_scenario.hpp"
 #include "stats/summary.hpp"
@@ -38,6 +39,9 @@ int main() {
   }
   const auto results = run_fattree_batch(cfgs);
 
+  obs::RunReport report{"fig12_fattree"};
+  bench::merge_telemetry(report, results);
+
   std::size_t next = 0;
   for (int pods : pod_counts) {
     stats::Table table{{"protocol", "mean completion (ms)", "max completion (ms)",
@@ -54,11 +58,16 @@ int main() {
       table.add_row({tcp::to_string(proto), stats::Table::num(mean_ms.mean(), 1),
                      stats::Table::num(max_ms.mean(), 1),
                      stats::Table::integer(unfinished)});
+      report.add_row("pods" + std::to_string(pods) + "_" + tcp::to_string(proto),
+                     {{"mean_ms", mean_ms.mean()},
+                      {"max_ms", max_ms.mean()},
+                      {"unfinished", static_cast<double>(unfinished)}});
     }
     std::printf("pod number = %d (%d servers):\n", pods, pods * pods * pods / 4);
     table.print();
     std::printf("\n");
   }
+  bench::finish_report(report);
   std::printf(
       "paper shape: TCP is worst everywhere and its tail rises sharply with\n"
       "scale; DCTCP and L2DCT cut the tail via ECN; TCP-TRIM performs best,\n"

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "exp/experiment.hpp"
 #include "exp/testbed_scenario.hpp"
 #include "stats/csv.hpp"
@@ -24,6 +25,8 @@ int main() {
           ? std::vector<std::uint64_t>{32 << 10, 256 << 10, 1 << 20}
           : std::vector<std::uint64_t>{32 << 10, 64 << 10, 128 << 10, 256 << 10,
                                        512 << 10, 1 << 20};
+  obs::RunReport report{"fig13_testbed"};
+  obs::TelemetrySnapshot tele;
   stats::Table arct{{"mean size", "CUBIC ARCT (ms)", "TRIM ARCT (ms)", "revenue",
                      "CUBIC max (ms)", "TRIM max (ms)"}};
   for (auto size : sizes) {
@@ -43,6 +46,11 @@ int main() {
                   stats::Table::num((1.0 - trim.arct_ms / cubic.arct_ms) * 100, 0) + "%",
                   stats::Table::num(cubic.max_ms, 1),
                   stats::Table::num(trim.max_ms, 1)});
+    tele.merge(cubic.telemetry);
+    tele.merge(trim.telemetry);
+    report.add_row("arct_" + std::to_string(size >> 10) + "kb",
+                   {{"cubic_arct_ms", cubic.arct_ms},
+                    {"trim_arct_ms", trim.arct_ms}});
   }
   std::printf("(a) ARCT under two background large-file transfers, 100 Mbps:\n");
   arct.print();
@@ -71,7 +79,14 @@ int main() {
                      stats::Table::integer(over_50),
                      stats::Table::num(r.completion_cdf_ms.quantile(0.99), 1),
                      r.completion_cdf_ms.max() <= 25.0 ? "yes" : "no"});
+    tele.merge(r.telemetry);
+    report.add_row("service_" + tcp::to_string(proto),
+                   {{"arct_ms", r.arct_ms},
+                    {"p99_ms", r.completion_cdf_ms.quantile(0.99)},
+                    {"over_50ms", static_cast<double>(over_50)}});
   }
+  report.set_telemetry(std::move(tele));
+  bench::finish_report(report);
   std::printf("(b-e) web service: 4 servers, 4000 responses, Fig. 2 workload:\n");
   service.print();
   std::printf(

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/sender_factory.hpp"
 #include "exp/experiment.hpp"
 #include "stats/table.hpp"
@@ -21,6 +22,7 @@ struct IncastResult {
   std::uint64_t timeouts = 0;
   std::uint64_t drops = 0;
   double sync_done_ms = 0.0;  // when the whole barrier round completed
+  obs::TelemetrySnapshot telemetry;
 };
 
 // One synchronized round: every server sends `block_bytes` at t=0; the
@@ -58,6 +60,7 @@ IncastResult run_round(tcp::Protocol protocol, int servers,
     out.goodput_mbps = static_cast<double>(block_bytes) * servers * 8.0 /
                        last_done.to_seconds() / 1e6;
   }
+  out.telemetry = world.telemetry_snapshot();
   return out;
 }
 
@@ -71,11 +74,20 @@ int main() {
       exp::quick_mode() ? std::vector<int>{4, 16, 48} : std::vector<int>{2, 4, 8, 16, 32, 48, 64};
   const std::uint64_t block = 256 * 1024;  // per-server block (classic setup)
 
+  obs::RunReport report{"incast_collapse"};
+  obs::TelemetrySnapshot tele;
   stats::Table table{{"#servers", "TCP goodput", "TRIM goodput", "TCP RTOs",
                       "TRIM RTOs", "TCP round (ms)", "TRIM round (ms)"}};
   for (int n : fan_in) {
     const auto tcp_r = run_round(tcp::Protocol::kReno, n, block, 1);
     const auto trim_r = run_round(tcp::Protocol::kTrim, n, block, 1);
+    tele.merge(tcp_r.telemetry);
+    tele.merge(trim_r.telemetry);
+    report.add_row("fanin" + std::to_string(n),
+                   {{"tcp_goodput_mbps", tcp_r.goodput_mbps},
+                    {"trim_goodput_mbps", trim_r.goodput_mbps},
+                    {"tcp_rtos", static_cast<double>(tcp_r.timeouts)},
+                    {"trim_rtos", static_cast<double>(trim_r.timeouts)}});
     table.add_row({stats::Table::integer(n),
                    stats::Table::num(tcp_r.goodput_mbps, 0) + " Mbps",
                    stats::Table::num(trim_r.goodput_mbps, 0) + " Mbps",
@@ -85,6 +97,8 @@ int main() {
                    stats::Table::num(trim_r.sync_done_ms, 1)});
   }
   table.print();
+  report.set_telemetry(std::move(tele));
+  bench::finish_report(report);
   std::printf(
       "expected: TCP goodput collapses once the synchronized windows overrun\n"
       "the 100-packet buffer (RTO-bound rounds); TRIM degrades gracefully\n"

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/k_guideline.hpp"
 #include "core/sender_factory.hpp"
 #include "core/trim_sender.hpp"
@@ -28,6 +29,8 @@ int main() {
   const std::vector<int> n_values =
       exp::quick_mode() ? std::vector<int>{2, 8, 24} : std::vector<int>{2, 4, 8, 16, 24, 32};
 
+  obs::RunReport report{"model_validation"};
+  obs::TelemetrySnapshot tele;
   stats::Table table{{"N", "K (us)", "pred Q (Eq.4)", "pred Qmax (Eq.7)",
                       "meas avg Q", "meas max Q", "utilization", "drops"}};
   for (int n : n_values) {
@@ -82,8 +85,16 @@ int main() {
                    stats::Table::num(utilization * 100.0, 1) + "%",
                    stats::Table::integer(
                        static_cast<long long>(world.network.total_drops()))});
+    tele.merge(world.telemetry_snapshot());
+    report.add_row("n" + std::to_string(n),
+                   {{"pred_q_pkts", q_pred},
+                    {"pred_qmax_pkts", qmax_pred},
+                    {"meas_avg_q_pkts", queue_trace.time_weighted_mean()},
+                    {"utilization", utilization}});
   }
   table.print();
+  report.set_telemetry(std::move(tele));
+  bench::finish_report(report);
   std::printf(
       "reading the table: the measured average queue should sit at or below\n"
       "the Eq. 4 standing queue, transient peaks near (and usually below)\n"

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/sender_factory.hpp"
 #include "exp/experiment.hpp"
 #include "stats/summary.hpp"
@@ -24,6 +25,7 @@ struct StreamResult {
   double arct_ms = 0.0;
   double max_ms = 0.0;
   std::uint64_t wire_packets = 0;  // total packets on the data path
+  obs::TelemetrySnapshot telemetry;
 };
 
 // Serve `count` responses of `bytes` each, spaced by `gap` after the
@@ -54,6 +56,7 @@ StreamResult run_persistent(tcp::Protocol protocol, int count, std::uint64_t byt
   out.arct_ms = act.mean();
   out.max_ms = act.max();
   out.wire_packets = sender->stats().data_packets_sent;
+  out.telemetry = world.telemetry_snapshot();
   return out;
 }
 
@@ -97,6 +100,7 @@ StreamResult run_per_request(tcp::Protocol protocol, int count, std::uint64_t by
   }
   out.arct_ms = act.mean();
   out.max_ms = act.max();
+  out.telemetry = world.telemetry_snapshot();
   return out;
 }
 
@@ -109,6 +113,8 @@ int main() {
   const int count = exp::quick_mode() ? 40 : 150;
   const auto gap = sim::SimTime::millis(2);
 
+  obs::RunReport report{"persistent_connections"};
+  obs::TelemetrySnapshot tele;
   for (std::uint64_t bytes : {8ull << 10, 64ull << 10}) {
     std::printf("response size %llu KB, %d responses, 2 ms think time:\n",
                 static_cast<unsigned long long>(bytes >> 10), count);
@@ -124,10 +130,22 @@ int main() {
                      stats::Table::num(fresh.arct_ms, 3),
                      stats::Table::num(fresh.max_ms, 3),
                      stats::Table::integer(static_cast<long long>(fresh.wire_packets))});
+      tele.merge(persistent.telemetry);
+      tele.merge(fresh.telemetry);
+      const std::string label =
+          std::to_string(bytes >> 10) + "kb_" + tcp::to_string(protocol);
+      report.add_row("persistent_" + label,
+                     {{"arct_ms", persistent.arct_ms},
+                      {"wire_pkts", static_cast<double>(persistent.wire_packets)}});
+      report.add_row("per_request_" + label,
+                     {{"arct_ms", fresh.arct_ms},
+                      {"wire_pkts", static_cast<double>(fresh.wire_packets)}});
     }
     table.print();
     std::printf("\n");
   }
+  report.set_telemetry(std::move(tele));
+  bench::finish_report(report);
   std::printf(
       "expected: per-request pays one handshake RTT plus a fresh slow start\n"
       "per response (worst for the larger responses); persistence avoids\n"

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/sender_factory.hpp"
 #include "exp/concurrency_scenario.hpp"
 #include "exp/experiment.hpp"
@@ -84,6 +85,11 @@ int main() {
       "inheritance speed on an idle path.\n\n");
 
   std::printf("(b) concurrency impairment: warm windows + 2 LPTs, 8 SPT servers\n");
+  obs::RunReport report{"related_delay"};
+  obs::TelemetrySnapshot tele;
+  for (const auto& [p, act] : idle_results) {
+    report.add_row("idle_" + tcp::to_string(p), {{"train_act_ms", act}});
+  }
   stats::Table hot_table{{"protocol", "SPT ACT (ms)", "max (ms)", "timeouts"}};
   for (auto p : protocols) {
     exp::ConcurrencyConfig cfg;
@@ -94,8 +100,15 @@ int main() {
     hot_table.add_row({tcp::to_string(p), stats::Table::num(r.act_ms, 2),
                        stats::Table::num(r.max_ms, 2),
                        stats::Table::integer(static_cast<long long>(r.spt_timeouts))});
+    tele.merge(r.telemetry);
+    report.add_row("hot_" + tcp::to_string(p),
+                   {{"act_ms", r.act_ms},
+                    {"max_ms", r.max_ms},
+                    {"timeouts", static_cast<double>(r.spt_timeouts)}});
   }
   hot_table.print();
+  report.set_telemetry(std::move(tele));
+  bench::finish_report(report);
   std::printf(
       "expected: Reno collapses (blind inheritance); GIP, Vegas and TRIM all\n"
       "avoid the RTO storm, with TRIM matching the best tail.\n");

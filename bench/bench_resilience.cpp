@@ -116,6 +116,12 @@ int main() {
            {{"runs", static_cast<double>(cfgs.size())},
             {"wall_seconds", batch_wall}});
 
+  obs::RunReport report{"resilience"};
+  bench::merge_telemetry(report, results);
+  for (const auto& r : results) {
+    for (const auto& fs : r.flow_summaries) report.add_flow(fs);
+  }
+
   std::uint64_t total_violations = 0;
   std::size_t next = 0;
   for (const auto& profile : profiles) {
@@ -135,6 +141,10 @@ int main() {
                static_cast<long long>(r.bottleneck_faults.injected_drops())),
            stats::Table::integer(
                static_cast<long long>(r.invariant_checkpoints))});
+      // Flight-recorder event counts ride along so the fault profiles are
+      // auditable from the JSON alone: how many losses/reorders/etc. were
+      // actually injected and how the transport reacted (probes, RTO fires).
+      const auto& ev = r.telemetry.events;
       json.add(profile.name + "/" + tcp::to_string(protocol), 0.0,
                {{"goodput_mbps", r.goodput_mbps},
                 {"timeouts", static_cast<double>(r.total_timeouts)},
@@ -146,12 +156,35 @@ int main() {
                 {"invariant_checkpoints",
                  static_cast<double>(r.invariant_checkpoints)},
                 {"invariant_violations",
-                 static_cast<double>(r.invariant_violations)}});
+                 static_cast<double>(r.invariant_violations)},
+                {"ev_fault_loss",
+                 static_cast<double>(ev[obs::EventKind::kFaultLoss])},
+                {"ev_fault_reorder",
+                 static_cast<double>(ev[obs::EventKind::kFaultReorder])},
+                {"ev_fault_link_down",
+                 static_cast<double>(ev[obs::EventKind::kFaultLinkDown])},
+                {"ev_rto_fired",
+                 static_cast<double>(ev[obs::EventKind::kRtoFired])},
+                {"ev_fast_retransmit",
+                 static_cast<double>(ev[obs::EventKind::kFastRetransmit])},
+                {"ev_probe_enter",
+                 static_cast<double>(ev[obs::EventKind::kTrimProbeEnter])},
+                {"ev_queue_drop_episodes",
+                 static_cast<double>(ev[obs::EventKind::kQueueDropEpisodeStart])}});
+      report.add_row(
+          profile.name + "/" + tcp::to_string(protocol),
+          {{"goodput_mbps", r.goodput_mbps},
+           {"timeouts", static_cast<double>(r.total_timeouts)},
+           {"ev_fault_loss", static_cast<double>(ev[obs::EventKind::kFaultLoss])},
+           {"ev_rto_fired", static_cast<double>(ev[obs::EventKind::kRtoFired])},
+           {"ev_probe_enter",
+            static_cast<double>(ev[obs::EventKind::kTrimProbeEnter])}});
     }
     table.print();
     std::printf("\n");
   }
 
+  bench::finish_report(report);
   std::printf(
       "expected shape: TRIM matches or beats Reno/DCTCP goodput on every\n"
       "profile and times out less under loss (probe-based resumption keeps\n"

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "exp/experiment.hpp"
 #include "exp/fattree_scenario.hpp"
 #include "stats/table.hpp"
@@ -19,6 +20,8 @@ int main() {
   const tcp::Protocol protocols[] = {tcp::Protocol::kReno, tcp::Protocol::kDctcp,
                                      tcp::Protocol::kL2dct, tcp::Protocol::kTrim};
 
+  obs::RunReport report{"table1_timeouts"};
+  obs::TelemetrySnapshot tele;
   stats::Table table{{"Pod number", "TCP", "DCTCP", "L2DCT", "TCP-TRIM"}};
   std::vector<std::vector<double>> measured;
   for (int pods : pod_counts) {
@@ -31,16 +34,22 @@ int main() {
         cfg.protocol = proto;
         cfg.pods = pods;
         cfg.seed = exp::run_seed(0x1200, rep * 100 + pods);  // same runs as Fig. 12
-        timeouts += run_fattree(cfg).timeouts;
+        const auto r = run_fattree(cfg);
+        timeouts += r.timeouts;
+        tele.merge(r.telemetry);
       }
       const double avg = static_cast<double>(timeouts) / reps;
       row.push_back(stats::Table::num(avg, 1));
       row_vals.push_back(avg);
+      report.add_row("pods" + std::to_string(pods) + "_" + tcp::to_string(proto),
+                     {{"avg_timeouts", avg}});
     }
     table.add_row(row);
     measured.push_back(row_vals);
   }
   table.print();
+  report.set_telemetry(std::move(tele));
+  bench::finish_report(report);
   std::printf(
       "paper reference (pods 4/6/8/10): TCP 13/85/452/1738, DCTCP 9/75/440/859,\n"
       "L2DCT 9/71/274/493, TCP-TRIM 8/39/141/285.\n"

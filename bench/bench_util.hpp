@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "obs/run_report.hpp"
 #include "stats/table.hpp"
 #include "stats/time_series.hpp"
 
@@ -101,6 +102,24 @@ inline std::string fmt(const char* f, double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, f, v);
   return buf;
+}
+
+// Merge the deterministic telemetry of a range of scenario results (each
+// carrying a `telemetry` member) into `report`, in range order — the same
+// submission order run_parallel uses, so the merged snapshot is identical
+// at any REPRO_JOBS width.
+template <typename ResultRange>
+inline void merge_telemetry(obs::RunReport& report, const ResultRange& results) {
+  obs::TelemetrySnapshot tele;
+  for (const auto& r : results) tele.merge(r.telemetry);
+  report.set_telemetry(std::move(tele));
+}
+
+// Attach the global sweep profile (the only nondeterministic section) and
+// write REPORT_<name>.json next to the BENCH_*.json files.
+inline std::string finish_report(obs::RunReport& report) {
+  report.set_profile(obs::sweep_profiler().snapshot());
+  return report.write();
 }
 
 }  // namespace trim::bench

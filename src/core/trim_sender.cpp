@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "sim/logging.hpp"
 
 namespace trim::core {
@@ -37,6 +38,8 @@ TrimSender::TrimSender(net::Host* host, net::NodeId dst, net::FlowId flow,
 void TrimSender::update_k() {
   if (cfg_.k_override) return;
   k_ = recommended_k(min_rtt_, cfg_.capacity_pps);
+  obs::emit(simulator(), obs::EventKind::kTrimKUpdate, flow_id(),
+            k_.to_seconds(), min_rtt_.to_seconds());
 }
 
 // ---------------- Algorithm 1: inter-train gap detection ----------------
@@ -55,6 +58,8 @@ bool TrimSender::cc_allow_new_segment() {
 
   const auto gap = simulator()->now() - last_send_time();
   if (gap > smooth_rtt_) {
+    obs::emit(simulator(), obs::EventKind::kTrimGapDetected, flow_id(),
+              gap.to_seconds(), smooth_rtt_.to_seconds());
     enter_probe_mode();
     return snd_next() < probe_hi_;
   }
@@ -72,6 +77,8 @@ void TrimSender::enter_probe_mode() {
   probe_rtt_sum_ = sim::SimTime::zero();
   set_cwnd(kMinWindow);                       // cwnd <- 2
   ++stats().probe_rounds;
+  obs::emit(simulator(), obs::EventKind::kTrimProbeEnter, flow_id(), saved_cwnd_,
+            static_cast<double>(probe_hi_ - probe_lo_));
   TRIM_LOG(sim::LogLevel::kDebug, simulator(), "flow %u: probe mode (saved cwnd %.1f)",
            flow_id(), saved_cwnd_);
 }
@@ -79,6 +86,8 @@ void TrimSender::enter_probe_mode() {
 void TrimSender::cc_before_send(net::Packet& p) {
   if (probing_ && !p.is_ack && p.seq >= probe_lo_ && p.seq < probe_hi_) {
     ++probes_sent_;
+    obs::emit(simulator(), obs::EventKind::kTrimProbeSent, flow_id(),
+              static_cast<double>(p.seq), static_cast<double>(probes_sent_));
     // (Re-)arm the probe timer from the latest probe transmission: "if any
     // ACK of probe packet does not come back in a smoothed RTT, set cwnd
     // to 2". Re-arming on each probe keeps the deadline meaningful even
@@ -111,12 +120,16 @@ void TrimSender::finish_probe(bool acks_in_time) {
     // Continue in congestion avoidance from the tuned operating point
     // rather than slow-starting past it.
     set_ssthresh(tuned);
+    obs::emit(simulator(), obs::EventKind::kTrimResumeEq1, flow_id(), tuned,
+              probe_rtt.to_seconds());
     TRIM_LOG(sim::LogLevel::kDebug, simulator(),
              "flow %u: probe done rtt=%.1fus -> cwnd %.1f", flow_id(),
              probe_rtt.to_micros(), tuned);
   } else {
     set_cwnd(kMinWindow);
     set_ssthresh(std::max(saved_cwnd_ / 2.0, kMinWindow));
+    obs::emit(simulator(), obs::EventKind::kTrimProbeTimeout, flow_id(),
+              kMinWindow, saved_cwnd_);
   }
   try_send();  // resume the suspended transfer
 }
@@ -140,6 +153,11 @@ void TrimSender::cc_on_every_ack(const tcp::AckEvent& ev) {
       probes_sent_ > 0) {
     probe_rtt_sum_ += ev.rtt;
     ++probe_acks_;
+    obs::emit(simulator(), obs::EventKind::kTrimProbeAck, flow_id(),
+              static_cast<double>(ev.ack_of_seq), ev.rtt.to_seconds());
+    if (auto* t = obs::telemetry_of(simulator())) {
+      t->core().probe_rtt_us->observe(ev.rtt.to_micros());
+    }
     const auto probe_count = static_cast<int>(probe_hi_ - probe_lo_);
     if (probe_acks_ >= probe_count) finish_probe(/*acks_in_time=*/true);
     return;
@@ -154,6 +172,11 @@ void TrimSender::cc_on_every_ack(const tcp::AckEvent& ev) {
     set_ssthresh(cwnd());
     next_decrease_seq_ = snd_next();  // one reduction per window of data
     ++stats().delay_backoffs;
+    obs::emit(simulator(), obs::EventKind::kTrimQueueCutEq3, flow_id(), ep,
+              cwnd());
+    if (auto* t = obs::telemetry_of(simulator())) {
+      t->core().eq3_ep->observe(ep);
+    }
   }
 }
 

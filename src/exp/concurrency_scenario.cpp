@@ -91,6 +91,14 @@ ConcurrencyResult run_concurrency(const ConcurrencyConfig& cfg) {
     result.spt_timeouts += sender->stats().timeouts;
     const auto& spt = sender->stats().messages().at(spt_ids[i]);
     if (spt.done()) summary.add(spt.completion_time().to_millis());
+
+    obs::FlowSummary fs;
+    fs.flow = sender->flow_id();
+    fs.protocol = tcp::to_string(cfg.protocol);
+    fs.completion_s = spt.done() ? spt.completion_time().to_seconds() : -1.0;
+    fs.retransmits = sender->stats().retransmitted_packets;
+    fs.timeouts = sender->stats().timeouts;
+    result.flow_summaries.push_back(std::move(fs));
   }
   result.completed_spts = static_cast<int>(summary.count());
   if (!summary.empty()) {
@@ -98,6 +106,7 @@ ConcurrencyResult run_concurrency(const ConcurrencyConfig& cfg) {
     result.min_ms = summary.min();
     result.max_ms = summary.max();
   }
+  result.telemetry = world.telemetry_snapshot();
   return result;
 }
 

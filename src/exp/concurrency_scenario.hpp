@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/run_report.hpp"
 #include "sim/time.hpp"
 #include "tcp/tcp_common.hpp"
 
@@ -39,6 +40,12 @@ struct ConcurrencyResult {
   std::uint64_t spt_timeouts = 0;   // across all SPT flows
   int completed_spts = 0;
   int total_spts = 0;
+
+  // Deterministic run telemetry (metrics + event counts).
+  obs::TelemetrySnapshot telemetry;
+  // Per-flow roll-ups for the run report (capped at RunReport::kMaxFlows
+  // by the report, not here).
+  std::vector<obs::FlowSummary> flow_summaries;
 };
 
 ConcurrencyResult run_concurrency(const ConcurrencyConfig& cfg);

@@ -73,6 +73,7 @@ ConvergenceResult run_convergence(const ConvergenceConfig& cfg) {
     result.full_overlap_mbps.push_back(meters[i]->mean_mbps(overlap_lo, overlap_hi));
   }
   result.jain_full_overlap = stats::jain_fairness_index(result.full_overlap_mbps);
+  result.telemetry = world.telemetry_snapshot();
   return result;
 }
 

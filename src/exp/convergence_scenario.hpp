@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "sim/time.hpp"
 #include "stats/time_series.hpp"
 #include "tcp/tcp_common.hpp"
@@ -28,6 +29,9 @@ struct ConvergenceResult {
   double jain_full_overlap = 0.0;  // during the all-flows-active window
   std::vector<double> full_overlap_mbps;  // per-flow mean in that window
   sim::SimTime run_end;
+
+  // Deterministic run telemetry (metrics + event counts).
+  obs::TelemetrySnapshot telemetry;
 };
 
 ConvergenceResult run_convergence(const ConvergenceConfig& cfg);

@@ -4,8 +4,18 @@
 #include <cstdlib>
 
 #include "net/routing.hpp"
+#include "obs/profiler.hpp"
 
 namespace trim::exp {
+
+World::World() : network{&simulator} { telemetry.attach(simulator); }
+
+World::~World() {
+  if (simulator.run_wall_ns() > 0) {
+    obs::sweep_profiler().add("sim.run", simulator.run_wall_ns(),
+                              simulator.events_dispatched());
+  }
+}
 
 std::uint64_t base_seed() {
   if (const char* env = std::getenv("REPRO_SEED")) {

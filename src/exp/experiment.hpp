@@ -24,6 +24,7 @@
 #include "core/sender_factory.hpp"
 #include "fault/invariant_checker.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/config_error.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -36,11 +37,28 @@ bool quick_mode();
 // overrides both.
 int repeats(int dflt, int quick);
 
-// One isolated simulated world per run.
+// One isolated simulated world per run, instrumented by default: the
+// telemetry bundle attaches to the simulator in the constructor, so every
+// emit site in net/tcp/core feeds this world's (and only this world's)
+// registry and recorder — parallel sweep jobs never share telemetry state.
 struct World {
-  World() : network{&simulator} {}
+  World();
+  // Folds this world's event-loop wall time into obs::sweep_profiler()
+  // ("sim.run", items = events dispatched), so bench reports break the
+  // clock down into loop time vs. harness time.
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  obs::Telemetry telemetry;  // declared first so it outlives the simulator
   sim::Simulator simulator;
   net::Network network;
+
+  // The deterministic telemetry of this run (metrics + event counts),
+  // ready to merge across repeats in submission order.
+  obs::TelemetrySnapshot telemetry_snapshot() const {
+    return telemetry.snapshot();
+  }
 };
 
 // Seed for (experiment, run) pairs, stable across processes.

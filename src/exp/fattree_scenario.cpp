@@ -80,6 +80,7 @@ FattreeResult run_fattree(const FattreeConfig& cfg) {
     result.max_completion_ms = summary.max();
   }
   result.drops = world.network.total_drops();
+  result.telemetry = world.telemetry_snapshot();
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "sim/time.hpp"
 #include "tcp/tcp_common.hpp"
 
@@ -38,6 +39,9 @@ struct FattreeResult {
   int completed_servers = 0;
   int total_servers = 0;
   std::uint64_t drops = 0;
+
+  // Deterministic run telemetry (metrics + event counts).
+  obs::TelemetrySnapshot telemetry;
 };
 
 FattreeResult run_fattree(const FattreeConfig& cfg);

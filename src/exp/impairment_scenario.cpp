@@ -90,6 +90,7 @@ ImpairmentResult run_impairment(const ImpairmentConfig& cfg) {
     }
   }
   result.total_drops = world.network.total_drops();
+  result.telemetry = world.telemetry_snapshot();
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "stats/time_series.hpp"
 #include "tcp/tcp_common.hpp"
 
@@ -40,6 +41,9 @@ struct ImpairmentResult {
   std::uint64_t total_drops = 0;
   sim::SimTime last_lpt_completion;       // zero if any LPT unfinished
   bool all_completed = false;
+
+  // Deterministic run telemetry (metrics + event counts).
+  obs::TelemetrySnapshot telemetry;
 };
 
 ImpairmentResult run_impairment(const ImpairmentConfig& cfg);

@@ -94,6 +94,7 @@ LargeScaleResult run_large_scale(const LargeScaleConfig& cfg) {
     result.spt_max_ms = summary.max();
   }
   result.drops = world.network.total_drops();
+  result.telemetry = world.telemetry_snapshot();
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "sim/time.hpp"
 #include "tcp/tcp_common.hpp"
 
@@ -35,6 +36,9 @@ struct LargeScaleResult {
   int total_spts = 0;
   std::uint64_t spt_timeouts = 0;
   std::uint64_t drops = 0;
+
+  // Deterministic run telemetry (metrics + event counts).
+  obs::TelemetrySnapshot telemetry;
 };
 
 LargeScaleResult run_large_scale(const LargeScaleConfig& cfg);

@@ -88,6 +88,7 @@ MultihopResult run_multihop(const MultihopConfig& cfg) {
     for (const auto& mf : *group) result.timeouts += mf.flow.sender->stats().timeouts;
   }
   result.drops = world.network.total_drops();
+  result.telemetry = world.telemetry_snapshot();
   return result;
 }
 

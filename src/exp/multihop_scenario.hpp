@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "obs/telemetry.hpp"
 #include "sim/time.hpp"
 #include "tcp/tcp_common.hpp"
 
@@ -26,6 +27,9 @@ struct MultihopResult {
   double group_c_mbps = 0.0;
   std::uint64_t timeouts = 0;
   std::uint64_t drops = 0;
+
+  // Deterministic run telemetry (metrics + event counts).
+  obs::TelemetrySnapshot telemetry;
 };
 
 MultihopResult run_multihop(const MultihopConfig& cfg);

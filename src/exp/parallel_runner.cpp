@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/profiler.hpp"
+
 namespace trim::exp {
 
 int parse_jobs(const char* env, int fallback) {
@@ -48,11 +50,17 @@ std::vector<JobFailure> for_each_index_collect(
     std::size_t count, int jobs, const std::function<void(std::size_t)>& fn) {
   std::vector<JobFailure> failures;
   if (count == 0) return failures;
+  // Per-batch and per-job wall times feed the "profile" section of run
+  // reports through obs::sweep_profiler(). Wall time is the only
+  // nondeterministic quantity recorded; job results are untouched.
+  obs::ScopedTimer batch_timer{obs::sweep_profiler(), "sweep.batch"};
+  batch_timer.add_items(count - 1);  // the timer itself counts 1
   if (jobs <= 1 || count == 1) {
     // Serial path: same containment as the pool — a throwing job is
     // captured and the remaining indices still run.
     for (std::size_t i = 0; i < count; ++i) {
       try {
+        obs::ScopedTimer job_timer{obs::sweep_profiler(), "sweep.job"};
         fn(i);
       } catch (...) {
         failures.push_back(capture_failure(i));
@@ -68,6 +76,7 @@ std::vector<JobFailure> for_each_index_collect(
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
+        obs::ScopedTimer job_timer{obs::sweep_profiler(), "sweep.job"};
         fn(i);
       } catch (...) {
         auto f = capture_failure(i);

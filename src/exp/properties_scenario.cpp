@@ -59,6 +59,7 @@ PropertiesResult run_properties(const PropertiesConfig& cfg) {
   result.drops = world.network.total_drops();
   for (const auto& flow : flows) result.timeouts += flow.sender->stats().timeouts;
   result.goodput_mbps = goodput.mean_mbps(cfg.start, cfg.stop);
+  result.telemetry = world.telemetry_snapshot();
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "obs/telemetry.hpp"
 #include "sim/time.hpp"
 #include "stats/time_series.hpp"
 #include "tcp/tcp_common.hpp"
@@ -29,6 +30,9 @@ struct PropertiesResult {
   std::uint64_t drops = 0;
   std::uint64_t timeouts = 0;
   double goodput_mbps = 0.0;      // unique delivered bytes over [start, stop]
+
+  // Deterministic run telemetry (metrics + event counts).
+  obs::TelemetrySnapshot telemetry;
 };
 
 PropertiesResult run_properties(const PropertiesConfig& cfg);

@@ -85,10 +85,20 @@ ResilienceResult run_resilience(const ResilienceConfig& cfg) {
   result.messages_total =
       static_cast<std::uint64_t>(cfg.num_servers) * cfg.messages_per_server;
   std::uint64_t acked_bytes = 0;
+  const double active_for_flows_s = (cfg.run_until - cfg.start).to_seconds();
   for (int i = 0; i < cfg.num_servers; ++i) {
     acked_bytes += flows[i].sender->bytes_acked();
     result.total_timeouts += flows[i].sender->stats().timeouts;
     result.messages_completed += apps[i]->completed();
+
+    obs::FlowSummary fs;
+    fs.flow = flows[i].sender->flow_id();
+    fs.protocol = tcp::to_string(cfg.protocol);
+    fs.goodput_mbps = static_cast<double>(flows[i].sender->bytes_acked()) * 8.0 /
+                      active_for_flows_s / 1e6;
+    fs.retransmits = flows[i].sender->stats().retransmitted_packets;
+    fs.timeouts = flows[i].sender->stats().timeouts;
+    result.flow_summaries.push_back(std::move(fs));
   }
   result.all_completed = result.messages_completed == result.messages_total;
   const double active_s = (cfg.run_until - cfg.start).to_seconds();
@@ -103,6 +113,7 @@ ResilienceResult run_resilience(const ResilienceConfig& cfg) {
   if (inv.checker() != nullptr) {
     result.invariant_checkpoints = inv.checker()->checkpoints_run();
   }
+  result.telemetry = world.telemetry_snapshot();
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/run_report.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/invariant_checker.hpp"
 #include "tcp/tcp_common.hpp"
@@ -61,6 +62,12 @@ struct ResilienceResult {
   // Invariant checker output (zeros when checking is disabled).
   std::uint64_t invariant_checkpoints = 0;
   std::uint64_t invariant_violations = 0;
+
+  // Deterministic run telemetry (metrics + event counts).
+  obs::TelemetrySnapshot telemetry;
+  // Per-flow roll-ups for the run report (capped at RunReport::kMaxFlows
+  // by the report, not here).
+  std::vector<obs::FlowSummary> flow_summaries;
 };
 
 ResilienceResult run_resilience(const ResilienceConfig& cfg);

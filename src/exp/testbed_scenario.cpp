@@ -125,6 +125,7 @@ ArctResult run_arct(const ArctConfig& cfg) {
     result.max_ms = summary.max();
   }
   result.timeouts = responder->stats().timeouts;
+  result.telemetry = world.telemetry_snapshot();
   return result;
 }
 
@@ -199,6 +200,7 @@ WebServiceResult run_web_service(const WebServiceConfig& cfg) {
   }
   result.completed = static_cast<int>(summary.count());
   if (!summary.empty()) result.arct_ms = summary.mean();
+  result.telemetry = world.telemetry_snapshot();
   return result;
 }
 

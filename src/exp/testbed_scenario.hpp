@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "net/network.hpp"
 #include "sim/time.hpp"
 #include "stats/cdf.hpp"
@@ -38,6 +39,9 @@ struct ArctResult {
   double max_ms = 0.0;
   int completed = 0;
   std::uint64_t timeouts = 0;
+
+  // Deterministic run telemetry (metrics + event counts).
+  obs::TelemetrySnapshot telemetry;
 };
 
 ArctResult run_arct(const ArctConfig& cfg);
@@ -64,6 +68,9 @@ struct WebServiceResult {
 
   // Fig. 13(b-d) focus: responses of 64-256 KB.
   stats::Cdf mid_band_ms() const;
+
+  // Deterministic run telemetry (metrics + event counts).
+  obs::TelemetrySnapshot telemetry;
 };
 
 WebServiceResult run_web_service(const WebServiceConfig& cfg);

@@ -4,6 +4,7 @@
 
 #include "net/link.hpp"
 #include "net/routing.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/config_error.hpp"
 #include "sim/logging.hpp"
 
@@ -94,14 +95,19 @@ void FaultInjector::attach(net::Link& link) {
   }
   link_ = &link;
   link.set_fault_injector(this);
+  subject_ = obs::subject_id(link.name());
   for (const auto& flap : cfg_.flaps) {
     flap_events_.push_back(sim_->schedule_at(flap.down_at, [this] {
       down_ = true;
+      drops_at_down_ = stats_.link_down_drops;
+      obs::emit(sim_, obs::EventKind::kFaultLinkDown, subject_);
       TRIM_LOG(sim::LogLevel::kInfo, sim_, "fault: link %s DOWN", link_->name().c_str());
     }));
     flap_events_.push_back(sim_->schedule_at(flap.up_at, [this] {
       down_ = false;
       ++stats_.flaps_completed;
+      obs::emit(sim_, obs::EventKind::kFaultLinkUp, subject_,
+                static_cast<double>(stats_.link_down_drops - drops_at_down_));
       TRIM_LOG(sim::LogLevel::kInfo, sim_, "fault: link %s UP", link_->name().c_str());
     }));
   }
@@ -113,7 +119,6 @@ bool FaultInjector::in_active_window() const {
 }
 
 bool FaultInjector::offer(const net::Packet& p) {
-  (void)p;
   if (down_) {
     ++stats_.link_down_drops;
     return false;
@@ -122,6 +127,8 @@ bool FaultInjector::offer(const net::Packet& p) {
   if (cfg_.loss_probability > 0.0 &&
       loss_rng_.uniform01() < cfg_.loss_probability) {
     ++stats_.random_losses;
+    obs::emit(sim_, obs::EventKind::kFaultLoss, subject_, /*a=*/1.0,
+              static_cast<double>(p.flow));
     return false;
   }
   if (cfg_.gilbert.enabled()) {
@@ -135,6 +142,8 @@ bool FaultInjector::offer(const net::Packet& p) {
     const double loss = gilbert_bad_ ? cfg_.gilbert.loss_bad : cfg_.gilbert.loss_good;
     if (loss > 0.0 && gilbert_rng_.uniform01() < loss) {
       ++stats_.random_losses;
+      obs::emit(sim_, obs::EventKind::kFaultLoss, subject_, /*a=*/2.0,
+                static_cast<double>(p.flow));
       return false;
     }
   }
@@ -148,11 +157,17 @@ sim::SimTime FaultInjector::on_deliver(net::Packet& p) {
       corrupt_rng_.uniform01() < cfg_.corrupt_probability) {
     p.corrupted = true;
     ++stats_.corrupted;
+    obs::emit(sim_, obs::EventKind::kFaultCorrupt, subject_,
+              static_cast<double>(p.flow), static_cast<double>(p.seq));
   }
   if (cfg_.reorder_probability > 0.0 &&
       reorder_rng_.uniform01() < cfg_.reorder_probability) {
-    extra += reorder_rng_.uniform_time(sim::SimTime::nanos(1), cfg_.reorder_extra_max);
+    const auto hold =
+        reorder_rng_.uniform_time(sim::SimTime::nanos(1), cfg_.reorder_extra_max);
+    extra += hold;
     ++stats_.reordered;
+    obs::emit(sim_, obs::EventKind::kFaultReorder, subject_,
+              static_cast<double>(p.flow), hold.to_seconds());
   }
   if (cfg_.jitter_max > sim::SimTime::zero()) {
     extra += jitter_rng_.uniform_time(sim::SimTime::zero(), cfg_.jitter_max);
@@ -160,10 +175,12 @@ sim::SimTime FaultInjector::on_deliver(net::Packet& p) {
   return extra;
 }
 
-bool FaultInjector::duplicate_now() {
+bool FaultInjector::duplicate_now(const net::Packet& p) {
   if (!in_active_window() || cfg_.duplicate_probability <= 0.0) return false;
   if (duplicate_rng_.uniform01() < cfg_.duplicate_probability) {
     ++stats_.duplicated;
+    obs::emit(sim_, obs::EventKind::kFaultDuplicate, subject_,
+              static_cast<double>(p.flow), static_cast<double>(p.seq));
     return true;
   }
   return false;

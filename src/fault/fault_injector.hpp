@@ -138,8 +138,8 @@ class FaultInjector {
   // `p` corrupted; returns the extra delay (jitter/reorder/added) to add
   // to the propagation delay.
   sim::SimTime on_deliver(net::Packet& p);
-  // Whether this delivery should be cloned into a duplicate arrival.
-  bool duplicate_now();
+  // Whether this delivery of `p` should be cloned into a duplicate arrival.
+  bool duplicate_now(const net::Packet& p);
 
  private:
   bool in_active_window() const;
@@ -148,6 +148,8 @@ class FaultInjector {
   FaultConfig cfg_;
   net::Link* link_ = nullptr;
   bool down_ = false;
+  std::uint32_t subject_ = 0;          // obs subject id of the attached link
+  std::uint64_t drops_at_down_ = 0;    // link_down_drops when the flap began
 
   // One independent stream per fault class (see file comment).
   sim::Rng loss_rng_;

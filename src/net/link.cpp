@@ -6,6 +6,7 @@
 #include "fault/fault_injector.hpp"
 #include "net/node.hpp"
 #include "net/trace_tap.hpp"
+#include "obs/events.hpp"
 #include "sim/config_error.hpp"
 
 namespace trim::net {
@@ -24,6 +25,9 @@ Link::Link(sim::Simulator* sim, std::string name, std::uint64_t bits_per_sec,
   if (bps_ == 0) {
     throw ConfigError{"Link: zero bandwidth", "link " + name_, "bits_per_sec > 0"};
   }
+  // Queue events (watermarks, drop episodes) report under this link's
+  // stable name hash, identical across runs and processes.
+  queue_->set_telemetry(sim_, obs::subject_id(name_));
 }
 
 void Link::set_tap(TraceTap* tap) {
@@ -83,7 +87,7 @@ void Link::on_transmit_done(Packet p) {
   bool duplicate = false;
   if (fault_ != nullptr) {
     extra = fault_->on_deliver(p);
-    duplicate = fault_->duplicate_now();
+    duplicate = fault_->duplicate_now(p);
   }
 
   if (duplicate) {

@@ -62,6 +62,16 @@ class Queue {
     on_drop_ = std::move(cb);
   }
 
+  // Telemetry wiring (done by Link when it adopts the queue): `subject` is
+  // the stable obs::subject_id of the owning link. With a clock attached
+  // the queue emits depth high-watermark and drop-episode events and feeds
+  // the queue.drops counter; without one (bare queues in unit tests) the
+  // hooks are no-ops.
+  void set_telemetry(const sim::Simulator* clock, std::uint32_t subject) {
+    obs_clock_ = clock;
+    obs_subject_ = subject;
+  }
+
  protected:
   void push_back(Packet p);
   void drop(const Packet& p);
@@ -73,6 +83,13 @@ class Queue {
   stats::TimeSeries* trace_ = nullptr;
   const sim::Simulator* clock_ = nullptr;
   std::function<void(const Packet&)> on_drop_;
+
+  const sim::Simulator* obs_clock_ = nullptr;
+  std::uint32_t obs_subject_ = 0;
+  std::size_t hwm_packets_ = 0;       // high-watermark emitted so far
+  bool in_drop_episode_ = false;      // a drop happened, no accept since
+  std::uint64_t episode_drops_ = 0;
+  sim::SimTime episode_start_;
 };
 
 struct QueueConfig {

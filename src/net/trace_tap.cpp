@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "net/link.hpp"
+#include "obs/events.hpp"
 
 namespace trim::net {
 
@@ -54,6 +55,26 @@ std::vector<TraceEntry> TraceTap::entries() const {
   std::vector<TraceEntry> out;
   out.reserve(ring_.size());
   for (std::size_t i = 0; i < ring_.size(); ++i) out.push_back(entry(i));
+  return out;
+}
+
+std::string TraceTap::to_jsonl() const {
+  std::string out;
+  out.reserve(ring_.size() * 96);
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const auto& e = entry(i);
+    obs::RecordedEvent rec;
+    rec.at = e.at;
+    switch (e.event) {
+      case PacketEvent::kEnqueued: rec.kind = obs::EventKind::kLinkEnqueued; break;
+      case PacketEvent::kDropped: rec.kind = obs::EventKind::kLinkDropped; break;
+      case PacketEvent::kDelivered: rec.kind = obs::EventKind::kLinkDelivered; break;
+    }
+    rec.subject = e.packet.flow;
+    rec.a = static_cast<double>(e.packet.seq);
+    rec.b = static_cast<double>(e.packet.payload_bytes);
+    obs::append_event_jsonl(out, rec);
+  }
   return out;
 }
 

@@ -58,6 +58,13 @@ class TraceTap {
   // Render as "time event DATA/ACK flow seq ..." lines.
   std::string render(std::size_t max_lines = 100) const;
 
+  // Retained entries as JSONL in the shared telemetry event schema
+  // (obs/events.hpp): kEnqueued/kDropped/kDelivered map to
+  // link.enqueued/link.dropped/link.delivered with subject = flow id,
+  // a = seq, b = payload bytes — so a link trace and a flight-recorder
+  // dump interleave cleanly when sorted by "t".
+  std::string to_jsonl() const;
+
   void record(PacketEvent event, const Packet& p, sim::SimTime now);
 
  private:

@@ -1,0 +1,45 @@
+#include "obs/events.hpp"
+
+#include <cstdio>
+
+namespace trim::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTrimGapDetected: return "trim.gap_detected";
+    case EventKind::kTrimProbeEnter: return "trim.probe_enter";
+    case EventKind::kTrimProbeSent: return "trim.probe_sent";
+    case EventKind::kTrimProbeAck: return "trim.probe_ack";
+    case EventKind::kTrimProbeTimeout: return "trim.probe_timeout";
+    case EventKind::kTrimResumeEq1: return "trim.resume_eq1";
+    case EventKind::kTrimQueueCutEq3: return "trim.queue_cut_eq3";
+    case EventKind::kTrimKUpdate: return "trim.k_update";
+    case EventKind::kRtoArmed: return "tcp.rto_armed";
+    case EventKind::kRtoFired: return "tcp.rto_fired";
+    case EventKind::kRtoBackoff: return "tcp.rto_backoff";
+    case EventKind::kFastRetransmit: return "tcp.fast_retransmit";
+    case EventKind::kQueueHighWatermark: return "queue.high_watermark";
+    case EventKind::kQueueDropEpisodeStart: return "queue.drop_episode_start";
+    case EventKind::kQueueDropEpisodeEnd: return "queue.drop_episode_end";
+    case EventKind::kFaultLoss: return "fault.loss";
+    case EventKind::kFaultLinkDown: return "fault.link_down";
+    case EventKind::kFaultLinkUp: return "fault.link_up";
+    case EventKind::kFaultCorrupt: return "fault.corrupt";
+    case EventKind::kFaultDuplicate: return "fault.duplicate";
+    case EventKind::kFaultReorder: return "fault.reorder";
+    case EventKind::kLinkEnqueued: return "link.enqueued";
+    case EventKind::kLinkDropped: return "link.dropped";
+    case EventKind::kLinkDelivered: return "link.delivered";
+  }
+  return "?";
+}
+
+void append_event_jsonl(std::string& out, const RecordedEvent& e) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "{\"t\":%.9f,\"kind\":\"%s\",\"subject\":%u,\"a\":%.9g,\"b\":%.9g}\n",
+                e.at.to_seconds(), to_string(e.kind), e.subject, e.a, e.b);
+  out += buf;
+}
+
+}  // namespace trim::obs

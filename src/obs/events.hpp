@@ -1,0 +1,93 @@
+// The telemetry event vocabulary shared by the flight recorder
+// (obs/flight_recorder.hpp) and the link-level TraceTap JSONL export
+// (net/trace_tap.hpp): one fixed enum of structured event kinds, one
+// POD record layout, and one JSONL line format, so sender-side and
+// link-side traces can be merged on the time axis offline.
+//
+// Every event is (time, kind, subject, a, b):
+//   subject — the emitting entity: the flow id for transport events, a
+//             stable 32-bit name hash (subject_id) for links and queues;
+//   a, b    — kind-specific payload, documented per kind below.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace trim::obs {
+
+enum class EventKind : std::uint8_t {
+  // TCP-TRIM state machine (core/trim_sender.cpp).
+  kTrimGapDetected,    // a = gap seconds, b = smooth_RTT seconds
+  kTrimProbeEnter,     // a = saved cwnd, b = probe segment count
+  kTrimProbeSent,      // a = probe segment seq, b = probes sent so far
+  kTrimProbeAck,       // a = acked probe seq, b = probe RTT seconds
+  kTrimProbeTimeout,   // a = resume cwnd (the minimum window), b = saved cwnd
+  kTrimResumeEq1,      // a = Eq. 1 tuned cwnd, b = mean probe RTT seconds
+  kTrimQueueCutEq3,    // a = congestion extent ep (Eq. 2), b = cwnd after cut
+  kTrimKUpdate,        // a = new K seconds, b = min_RTT seconds
+
+  // Base TCP loss recovery (tcp/tcp_sender.cpp).
+  kRtoArmed,           // a = armed RTO seconds, b = backoff exponent
+  kRtoFired,           // a = backoff exponent when it fired, b = snd_una
+  kRtoBackoff,         // a = new backoff exponent, b = snd_una
+  kFastRetransmit,     // a = retransmitted seq, b = cwnd after the cut
+
+  // Egress queues (net/queue.cpp).
+  kQueueHighWatermark,    // a = depth packets, b = depth bytes
+  kQueueDropEpisodeStart, // a = depth packets at first drop, b = depth bytes
+  kQueueDropEpisodeEnd,   // a = drops in the episode, b = episode seconds
+
+  // Fault injection (fault/fault_injector.cpp).
+  kFaultLoss,          // a = 1 Bernoulli / 2 Gilbert-Elliott, b = flow id
+  kFaultLinkDown,      // scheduled flap start
+  kFaultLinkUp,        // a = offered packets dropped while down
+  kFaultCorrupt,       // a = flow id, b = seq
+  kFaultDuplicate,     // a = flow id, b = seq
+  kFaultReorder,       // a = flow id, b = extra hold-back seconds
+
+  // Link packet path (TraceTap JSONL export shares this schema).
+  kLinkEnqueued,       // a = seq, b = payload bytes; subject = flow id
+  kLinkDropped,
+  kLinkDelivered,
+};
+
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kLinkDelivered) + 1;
+
+// Stable dotted name, e.g. "trim.probe_enter" — the `kind` field of the
+// JSONL schema and the key used in run-report event counts.
+const char* to_string(EventKind kind);
+
+// One recorded event. POD on purpose: the flight recorder stores these in
+// a preallocated ring and never touches the heap on the emit path.
+struct RecordedEvent {
+  sim::SimTime at;
+  EventKind kind = EventKind::kLinkEnqueued;
+  std::uint32_t subject = 0;
+  double a = 0.0;
+  double b = 0.0;
+};
+
+// Stable 32-bit subject id for named entities (links, queues): FNV-1a.
+// Depends only on the name, so ids are identical across runs, processes,
+// and REPRO_JOBS widths.
+constexpr std::uint32_t subject_id(std::string_view name) {
+  std::uint32_t h = 2166136261u;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+// Appends one JSONL line:
+//   {"t":<sec>,"kind":"<name>","subject":<id>,"a":<a>,"b":<b>}\n
+// Shared by FlightRecorder::to_jsonl and TraceTap::to_jsonl so the two
+// streams interleave cleanly when sorted by "t".
+void append_event_jsonl(std::string& out, const RecordedEvent& e);
+
+}  // namespace trim::obs

@@ -1,0 +1,36 @@
+#include "obs/profiler.hpp"
+
+namespace trim::obs {
+
+void Profiler::add(std::string_view phase, std::uint64_t wall_ns,
+                   std::uint64_t items) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const auto it = phases_.find(phase);
+  Cell& cell =
+      it != phases_.end() ? it->second : phases_.emplace(std::string{phase}, Cell{}).first->second;
+  ++cell.calls;
+  cell.wall_ns += wall_ns;
+  cell.items += items;
+}
+
+std::vector<PhaseSnapshot> Profiler::snapshot() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  std::vector<PhaseSnapshot> out;
+  out.reserve(phases_.size());
+  for (const auto& [name, cell] : phases_) {
+    out.push_back({name, cell.calls, cell.wall_ns, cell.items});
+  }
+  return out;
+}
+
+void Profiler::clear() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  phases_.clear();
+}
+
+Profiler& sweep_profiler() {
+  static Profiler instance;
+  return instance;
+}
+
+}  // namespace trim::obs

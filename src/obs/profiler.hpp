@@ -1,0 +1,90 @@
+// Scoped profiling timers: wall time + item counts per named phase.
+//
+// The profiler answers "where did the wall clock go" for a bench binary —
+// event-loop time vs. per-job sweep work vs. report writing — without a
+// sampling profiler. Phases are coarse (dozens per run, not per-event),
+// so a mutex-guarded map is plenty; ScopedTimer keeps the timed region
+// itself free of locking (one steady_clock read on entry and one add on
+// exit).
+//
+// Wall times are inherently nondeterministic, so profile data goes ONLY
+// into the "profile" section of run reports — never into metrics or event
+// counts, which stay byte-identical across REPRO_JOBS widths.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trim::obs {
+
+struct PhaseSnapshot {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t items = 0;  // caller-defined work units (events, jobs, rows)
+};
+
+class Profiler {
+ public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // Fold one timed region into `phase`. Thread-safe: parallel sweep
+  // workers add to the same profiler concurrently.
+  void add(std::string_view phase, std::uint64_t wall_ns, std::uint64_t items = 1);
+
+  // Sorted by phase name.
+  std::vector<PhaseSnapshot> snapshot() const;
+
+  void clear();
+
+ private:
+  struct Cell {
+    std::uint64_t calls = 0;
+    std::uint64_t wall_ns = 0;
+    std::uint64_t items = 0;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Cell, std::less<>> phases_;
+};
+
+// RAII timer: records into `profiler` on destruction. `items` can be
+// bumped while the region runs (e.g. events dispatched inside it).
+class ScopedTimer {
+ public:
+  ScopedTimer(Profiler& profiler, std::string_view phase)
+      : profiler_{profiler},
+        phase_{phase},
+        start_{std::chrono::steady_clock::now()} {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  void add_items(std::uint64_t n) { items_ += n; }
+
+  ~ScopedTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    profiler_.add(phase_, static_cast<std::uint64_t>(ns), items_);
+  }
+
+ private:
+  Profiler& profiler_;
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t items_ = 1;
+};
+
+// Process-wide profiler for the sweep/bench harness ("sweep.job",
+// "sweep.batch", "report.write", ...). Bench binaries snapshot it into
+// their run report's "profile" section.
+Profiler& sweep_profiler();
+
+}  // namespace trim::obs

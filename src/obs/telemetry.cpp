@@ -1,0 +1,31 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdlib>
+
+namespace trim::obs {
+
+Telemetry::Telemetry() {
+  core_.segments_sent = registry_.counter("tcp.segments_sent");
+  core_.acks_processed = registry_.counter("tcp.acks_processed");
+  core_.queue_drops = registry_.counter("queue.drops");
+  core_.probe_rtt_us = registry_.histogram("trim.probe_rtt_us", 0.0, 5000.0, 50);
+  core_.eq3_ep = registry_.histogram("trim.eq3_ep", 0.0, 1.0, 20);
+}
+
+void Telemetry::attach(sim::Simulator& sim) {
+  sim.set_telemetry(this);
+  const std::size_t capacity = env_recorder_capacity();
+  if (capacity > 0 && !recorder_.ring_enabled()) recorder_.enable(capacity);
+}
+
+std::size_t env_recorder_capacity() {
+  const char* env = std::getenv("TRIM_TELEMETRY");
+  if (env == nullptr || env[0] == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || v <= 0) return 0;
+  // "1" means "on" (default-sized ring); larger values set the capacity.
+  return v == 1 ? 8192 : static_cast<std::size_t>(v);
+}
+
+}  // namespace trim::obs

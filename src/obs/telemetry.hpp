@@ -1,0 +1,92 @@
+// The per-Simulator telemetry bundle: one MetricsRegistry plus one
+// FlightRecorder, attached to a Simulator so every component holding a
+// Simulator* can reach both without new plumbing.
+//
+// exp::World owns a Telemetry and attaches it in its constructor, so all
+// scenario runs are instrumented by default; bare Simulator uses (unit
+// tests, micro-benches) have no bundle and every emit site degrades to a
+// null-pointer test. Attachment is observational only — telemetry never
+// schedules events or draws randomness — so simulation output is
+// byte-identical with the bundle present, absent, or ring-enabled.
+//
+// The ring storage of the recorder is opt-in: scenarios and tests call
+// recorder().enable(n), and the TRIM_TELEMETRY environment knob turns it
+// on for any World ("1" -> 8192 events, any other number -> that
+// capacity, "0"/unset -> counts only).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace trim::obs {
+
+// The deterministic part of a run's telemetry: metrics + event counts.
+// Scenario results carry one of these; parallel sweeps merge them in
+// submission order, so the merged snapshot is identical at any
+// REPRO_JOBS width.
+struct TelemetrySnapshot {
+  MetricsSnapshot metrics;
+  EventCounts events;
+
+  void merge(const TelemetrySnapshot& other) {
+    metrics.merge(other.metrics);
+    events.merge(other.events);
+  }
+};
+
+class Telemetry {
+ public:
+  // Pre-registered handles for the hot emit sites, resolved once here so
+  // the per-ack / per-segment path is a plain pointer increment.
+  struct CoreHandles {
+    Counter* segments_sent = nullptr;  // tcp.segments_sent
+    Counter* acks_processed = nullptr; // tcp.acks_processed
+    Counter* queue_drops = nullptr;    // queue.drops
+    Histogram* probe_rtt_us = nullptr; // trim.probe_rtt_us [0, 5000) x 50
+    Histogram* eq3_ep = nullptr;       // trim.eq3_ep [0, 1) x 20
+  };
+
+  Telemetry();
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  // Point `sim` at this bundle and apply the TRIM_TELEMETRY ring knob.
+  void attach(sim::Simulator& sim);
+
+  MetricsRegistry& registry() { return registry_; }
+  FlightRecorder& recorder() { return recorder_; }
+  const FlightRecorder& recorder() const { return recorder_; }
+  const CoreHandles& core() const { return core_; }
+
+  TelemetrySnapshot snapshot() const {
+    return {registry_.snapshot(), recorder_.counts()};
+  }
+
+ private:
+  MetricsRegistry registry_;
+  FlightRecorder recorder_;
+  CoreHandles core_;
+};
+
+// Ring capacity requested via TRIM_TELEMETRY (0 = counts only).
+std::size_t env_recorder_capacity();
+
+// The bundle attached to `sim`, or nullptr (bare Simulator, tests).
+inline Telemetry* telemetry_of(const sim::Simulator* sim) {
+  return sim != nullptr ? static_cast<Telemetry*>(sim->telemetry()) : nullptr;
+}
+
+// The one emit helper used by all instrumented components. Disabled
+// telemetry costs exactly this pointer test.
+inline void emit(const sim::Simulator* sim, EventKind kind, std::uint32_t subject,
+                 double a = 0.0, double b = 0.0) {
+  if (Telemetry* t = telemetry_of(sim)) {
+    t->recorder().emit(sim->now(), kind, subject, a, b);
+  }
+}
+
+}  // namespace trim::obs

@@ -19,11 +19,31 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+class StderrLogSink : public LogSink {
+ public:
+  void write(LogLevel level, double sim_time_s,
+             const std::string& message) override {
+    std::fprintf(stderr, "[t=%.9fs] [%s] %s\n", sim_time_s, level_name(level),
+                 message.c_str());
+  }
+};
+
+StderrLogSink g_stderr_sink;
+LogSink* g_sink = &g_stderr_sink;
 }  // namespace
 
 LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel level) { g_level = level; }
 bool log_enabled(LogLevel level) { return level >= g_level; }
+
+LogSink* set_log_sink(LogSink* sink) {
+  LogSink* previous = g_sink;
+  g_sink = sink != nullptr ? sink : &g_stderr_sink;
+  // Report the built-in sink as nullptr so restoring a saved "previous"
+  // value round-trips cleanly through the nullptr-means-default contract.
+  return previous == &g_stderr_sink ? nullptr : previous;
+}
 
 void log_message(LogLevel level, double sim_time_s, const char* fmt, ...) {
   char buf[1024];
@@ -31,7 +51,7 @@ void log_message(LogLevel level, double sim_time_s, const char* fmt, ...) {
   va_start(args, fmt);
   std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
-  std::fprintf(stderr, "[t=%.9fs] [%s] %s\n", sim_time_s, level_name(level), buf);
+  g_sink->write(level, sim_time_s, buf);
 }
 
 std::string SimTime::to_string() const {

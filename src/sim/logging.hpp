@@ -4,10 +4,16 @@
 // tests and debugging sessions raise the level per-run. Messages are
 // printf-style formatted with std::snprintf to avoid iostream overhead on
 // hot paths when the level is disabled (the format call is guarded).
+//
+// The output target is a pluggable LogSink: the default writes to stderr,
+// tests install a capturing sink (sim/logging.hpp: CaptureLogSink) to
+// assert on warnings without scraping process output.
 #pragma once
 
 #include <cstdarg>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace trim::sim {
 
@@ -18,7 +24,58 @@ void set_log_level(LogLevel level);
 
 bool log_enabled(LogLevel level);
 
-// Logs "[t=...s] [level] message" to stderr when `level` is enabled.
+// Destination for formatted log records. write() receives the final
+// message text (no trailing newline); the level and sim time come
+// separately so sinks can filter or re-format.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(LogLevel level, double sim_time_s,
+                     const std::string& message) = 0;
+};
+
+// Install `sink` as the process-wide log target; returns the previous
+// sink so callers can restore it. Passing nullptr restores the built-in
+// stderr sink. The caller keeps ownership of `sink` and must keep it
+// alive while installed.
+LogSink* set_log_sink(LogSink* sink);
+
+// In-memory sink for tests: installs itself on construction and restores
+// the previous sink on destruction.
+class CaptureLogSink : public LogSink {
+ public:
+  struct Record {
+    LogLevel level;
+    double sim_time_s;
+    std::string message;
+  };
+
+  CaptureLogSink() : previous_{set_log_sink(this)} {}
+  ~CaptureLogSink() override { set_log_sink(previous_); }
+  CaptureLogSink(const CaptureLogSink&) = delete;
+  CaptureLogSink& operator=(const CaptureLogSink&) = delete;
+
+  void write(LogLevel level, double sim_time_s,
+             const std::string& message) override {
+    records_.push_back({level, sim_time_s, message});
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+  bool contains(const std::string& needle) const {
+    for (const auto& r : records_) {
+      if (r.message.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+  void clear() { records_.clear(); }
+
+ private:
+  LogSink* previous_;
+  std::vector<Record> records_;
+};
+
+// Logs "[t=...s] [level] message" through the installed sink (stderr by
+// default) when `level` is enabled.
 void log_message(LogLevel level, double sim_time_s, const char* fmt, ...)
     __attribute__((format(printf, 3, 4)));
 

@@ -12,6 +12,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
+namespace trim::obs {
+class Telemetry;  // obs/telemetry.hpp; trim_sim must not depend on trim_obs
+}
+
 namespace trim::sim {
 
 class Simulator {
@@ -42,10 +46,24 @@ class Simulator {
   std::uint64_t events_dispatched() const { return dispatched_; }
   std::size_t pending_events() const { return queue_.size(); }
 
+  // The telemetry bundle observing this world, or nullptr (the default —
+  // bare Simulators in unit tests carry no telemetry and every emit site
+  // degrades to a pointer test). Set via obs::Telemetry::attach; the
+  // pointer is opaque here so trim_sim stays free of trim_obs.
+  obs::Telemetry* telemetry() const { return telemetry_; }
+  void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+
+  // Wall-clock nanoseconds spent inside run()/run_until() so far. Feeds
+  // the "profile" section of run reports; never read by the simulation
+  // itself, so determinism is unaffected.
+  std::uint64_t run_wall_ns() const { return run_wall_ns_; }
+
  private:
   EventQueue queue_;
   SimTime now_;
   std::uint64_t dispatched_ = 0;
+  obs::Telemetry* telemetry_ = nullptr;
+  std::uint64_t run_wall_ns_ = 0;
 };
 
 }  // namespace trim::sim

@@ -7,9 +7,13 @@ namespace trim::stats {
 
 void RateMeter::add(sim::SimTime at, std::uint64_t bytes) {
   if (at < sim::SimTime::zero()) throw std::invalid_argument("RateMeter::add: negative time");
-  const auto idx = static_cast<std::size_t>(at.ns() / bin_width_.ns());
-  if (idx >= bins_.size()) bins_.resize(idx + 1, 0);
-  bins_[idx] += bytes;
+  const auto idx = static_cast<std::uint64_t>(at.ns() / bin_width_.ns());
+  if (idx < kMaxDenseBins) {
+    if (idx >= bins_.size()) bins_.resize(static_cast<std::size_t>(idx) + 1, 0);
+    bins_[static_cast<std::size_t>(idx)] += bytes;
+  } else {
+    sparse_[idx] += bytes;
+  }
   total_bytes_ += bytes;
 }
 
@@ -20,15 +24,27 @@ TimeSeries RateMeter::series_mbps() const {
     const double mbps = static_cast<double>(bins_[i]) * 8.0 / bin_s / 1e6;
     out.record(bin_width_ * static_cast<std::int64_t>(i), mbps);
   }
+  // Sparse bins all lie past the dense range and the map iterates in
+  // index order, so the series stays time-sorted.
+  for (const auto& [idx, bin_bytes] : sparse_) {
+    const double mbps = static_cast<double>(bin_bytes) * 8.0 / bin_s / 1e6;
+    out.record(bin_width_ * static_cast<std::int64_t>(idx), mbps);
+  }
   return out;
 }
 
 double RateMeter::mean_mbps(sim::SimTime from, sim::SimTime to) const {
   if (to <= from) throw std::invalid_argument("RateMeter::mean_mbps: empty interval");
   std::uint64_t bytes = 0;
-  const auto lo = static_cast<std::size_t>(from.ns() / bin_width_.ns());
-  const auto hi = static_cast<std::size_t>((to.ns() + bin_width_.ns() - 1) / bin_width_.ns());
-  for (std::size_t i = lo; i < hi && i < bins_.size(); ++i) bytes += bins_[i];
+  const auto lo = static_cast<std::uint64_t>(from.ns() / bin_width_.ns());
+  const auto hi =
+      static_cast<std::uint64_t>((to.ns() + bin_width_.ns() - 1) / bin_width_.ns());
+  for (std::uint64_t i = lo; i < hi && i < bins_.size(); ++i) {
+    bytes += bins_[static_cast<std::size_t>(i)];
+  }
+  for (auto it = sparse_.lower_bound(lo); it != sparse_.end() && it->first < hi; ++it) {
+    bytes += it->second;
+  }
   return static_cast<double>(bytes) * 8.0 / (to - from).to_seconds() / 1e6;
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -13,6 +14,13 @@ namespace trim::stats {
 
 class RateMeter {
  public:
+  // Storage guard: the dense per-bin vector never grows past this many
+  // bins. Samples landing beyond it go to a sparse overflow map, so a
+  // single add() deep into a mostly-idle run (e.g. a 10 ms meter fed at
+  // simulated hour three) costs one map node instead of hundreds of
+  // millions of empty dense bins.
+  static constexpr std::uint64_t kMaxDenseBins = std::uint64_t{1} << 20;
+
   explicit RateMeter(sim::SimTime bin_width) : bin_width_{bin_width} {}
 
   void add(sim::SimTime at, std::uint64_t bytes);
@@ -26,9 +34,14 @@ class RateMeter {
   std::uint64_t total_bytes() const { return total_bytes_; }
   sim::SimTime bin_width() const { return bin_width_; }
 
+  // Bins currently backed by storage (dense slots + sparse entries) —
+  // observable so tests can assert the sparse guard holds.
+  std::size_t allocated_bins() const { return bins_.size() + sparse_.size(); }
+
  private:
   sim::SimTime bin_width_;
   std::vector<std::uint64_t> bins_;  // bytes per bin, index = t / bin_width
+  std::map<std::uint64_t, std::uint64_t> sparse_;  // bins past kMaxDenseBins
   std::uint64_t total_bytes_ = 0;
 };
 

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "sim/logging.hpp"
 
 namespace trim::tcp {
@@ -153,6 +154,7 @@ void TcpSender::send_segment(SeqNum seq, bool retransmission) {
   ++stats_.data_packets_sent;
   stats_.data_bytes_sent += p.payload_bytes;
   if (retransmission) ++stats_.retransmitted_packets;
+  if (auto* t = obs::telemetry_of(sim_)) t->core().segments_sent->inc();
 
   last_send_time_ = sim_->now();
   const net::Packet snapshot = p;
@@ -182,6 +184,8 @@ void TcpSender::arm_rto() {
   for (int i = 0; i < rto_backoff_; ++i) {
     rto = std::min(rto * 2, cfg_.max_rto);
   }
+  obs::emit(sim_, obs::EventKind::kRtoArmed, flow_, rto.to_seconds(),
+            static_cast<double>(rto_backoff_));
   rto_timer_ = sim_->schedule(rto, [this] { on_rto(); });
 }
 
@@ -197,6 +201,10 @@ void TcpSender::on_rto() {
   if (!established_) {  // lost SYN or SYN-ACK: retry the handshake
     ++stats_.timeouts;
     ++rto_backoff_;
+    obs::emit(sim_, obs::EventKind::kRtoFired, flow_,
+              static_cast<double>(rto_backoff_ - 1), 0.0);
+    obs::emit(sim_, obs::EventKind::kRtoBackoff, flow_,
+              static_cast<double>(rto_backoff_), 0.0);
     net::Packet p;
     p.dst = dst_;
     p.flow = flow_;
@@ -209,6 +217,8 @@ void TcpSender::on_rto() {
   if (snd_una_ == total_segments_) return;  // nothing outstanding
 
   ++stats_.timeouts;
+  obs::emit(sim_, obs::EventKind::kRtoFired, flow_,
+            static_cast<double>(rto_backoff_), static_cast<double>(snd_una_));
   TRIM_LOG(sim::LogLevel::kDebug, sim_, "flow %u: RTO (snd_una=%llu snd_next=%llu cwnd=%.1f)",
            flow_, static_cast<unsigned long long>(snd_una_),
            static_cast<unsigned long long>(snd_next_), cwnd_);
@@ -222,6 +232,8 @@ void TcpSender::on_rto() {
   // receiver already holds fast-forward snd_una.
   snd_next_ = snd_una_;
   ++rto_backoff_;
+  obs::emit(sim_, obs::EventKind::kRtoBackoff, flow_,
+            static_cast<double>(rto_backoff_), static_cast<double>(snd_una_));
   arm_rto();
   try_send();
 }
@@ -249,6 +261,7 @@ void TcpSender::on_packet(const net::Packet& p) {
 
   ++stats_.acked_segments;
   if (ev.ece) ++stats_.ecn_marked_acks;
+  if (auto* t = obs::telemetry_of(sim_)) t->core().acks_processed->inc();
 
   cc_on_every_ack(ev);
 
@@ -315,6 +328,8 @@ void TcpSender::handle_dupack(AckEvent&) {
   if (dupacks_ == cfg_.dupack_threshold) {
     ++stats_.fast_retransmits;
     cc_on_fast_retransmit();
+    obs::emit(sim_, obs::EventKind::kFastRetransmit, flow_,
+              static_cast<double>(snd_una_), cwnd_);
     in_recovery_ = true;
     recover_ = snd_next_;
     send_segment(snd_una_, true);

@@ -122,6 +122,36 @@ TEST(ParallelRunner, NonStdExceptionGetsPlaceholderMessage) {
   EXPECT_TRUE(failures[0].error != nullptr);
 }
 
+// Bitwise equality for the scalar measurement fields plus structural
+// equality for the heap-backed telemetry sections. memcmp over the whole
+// struct stopped being meaningful once ConcurrencyResult grew vectors —
+// identical contents live at different heap addresses.
+void expect_identical(const ConcurrencyResult& a, const ConcurrencyResult& b,
+                      const char* what) {
+  EXPECT_EQ(std::memcmp(&a.act_ms, &b.act_ms, sizeof a.act_ms), 0) << what;
+  EXPECT_EQ(std::memcmp(&a.min_ms, &b.min_ms, sizeof a.min_ms), 0) << what;
+  EXPECT_EQ(std::memcmp(&a.max_ms, &b.max_ms, sizeof a.max_ms), 0) << what;
+  EXPECT_EQ(a.spt_timeouts, b.spt_timeouts) << what;
+  EXPECT_EQ(a.completed_spts, b.completed_spts) << what;
+  EXPECT_EQ(a.total_spts, b.total_spts) << what;
+  EXPECT_EQ(a.telemetry.metrics.to_json(), b.telemetry.metrics.to_json())
+      << what;
+  EXPECT_EQ(a.telemetry.events.by_kind, b.telemetry.events.by_kind) << what;
+  ASSERT_EQ(a.flow_summaries.size(), b.flow_summaries.size()) << what;
+  for (std::size_t i = 0; i < a.flow_summaries.size(); ++i) {
+    const auto& fa = a.flow_summaries[i];
+    const auto& fb = b.flow_summaries[i];
+    EXPECT_EQ(fa.flow, fb.flow) << what;
+    EXPECT_EQ(fa.protocol, fb.protocol) << what;
+    EXPECT_EQ(std::memcmp(&fa.goodput_mbps, &fb.goodput_mbps,
+                          sizeof fa.goodput_mbps), 0) << what;
+    EXPECT_EQ(std::memcmp(&fa.completion_s, &fb.completion_s,
+                          sizeof fa.completion_s), 0) << what;
+    EXPECT_EQ(fa.retransmits, fb.retransmits) << what;
+    EXPECT_EQ(fa.timeouts, fb.timeouts) << what;
+  }
+}
+
 // The determinism contract: a batch of real scenario runs produces results
 // byte-identical to the serial loop, at any worker width. Each run owns an
 // isolated World and a config-derived seed, so scheduling cannot leak in.
@@ -145,10 +175,9 @@ TEST(ParallelRunner, ScenarioBatchIsBitIdenticalToSerial) {
       parallel[i] = run_concurrency(cfgs[i]);
     });
     for (std::size_t i = 0; i < cfgs.size(); ++i) {
-      // Bitwise comparison — even the doubles must match exactly.
-      EXPECT_EQ(std::memcmp(&serial[i], &parallel[i], sizeof(ConcurrencyResult)),
-                0)
-          << "run " << i << " diverged at " << jobs << " jobs";
+      const std::string what = "run " + std::to_string(i) + " diverged at " +
+                               std::to_string(jobs) + " jobs";
+      expect_identical(serial[i], parallel[i], what.c_str());
     }
   }
 }

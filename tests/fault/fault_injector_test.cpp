@@ -149,7 +149,7 @@ TEST(FaultInjector, LossStreamUnaffectedByOtherFaults) {
       if (pass) {
         // Exercise the delivery-side hooks between offers, as the link does.
         (void)inj.on_deliver(p);
-        (void)inj.duplicate_now();
+        (void)inj.duplicate_now(p);
       }
     }
     return decisions;

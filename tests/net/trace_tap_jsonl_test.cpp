@@ -1,0 +1,92 @@
+// TraceTap's JSONL export shares the flight-recorder event schema, so a
+// link trace and a recorder dump interleave cleanly when sorted by "t".
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/trace_tap.hpp"
+#include "obs/events.hpp"
+#include "../tcp/tcp_test_util.hpp"
+#include "tcp/reno.hpp"
+#include "tcp/tcp_receiver.hpp"
+
+namespace trim {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& blob) {
+  std::vector<std::string> out;
+  std::istringstream in{blob};
+  for (std::string line; std::getline(in, line);) out.push_back(line);
+  return out;
+}
+
+TEST(TraceTapJsonl, UsesTheSharedEventSchema) {
+  test::HostPair net;
+  net::TraceTap tap;
+  tap.attach(*net.ab);
+  tcp::TcpReceiver recv{&net.b, 7, net.a.id()};
+  tcp::RenoSender sender{&net.a, net.b.id(), 7, tcp::TcpConfig{}};
+  sender.write(3 * 1460);
+  net.sim.run();
+
+  const auto lines = lines_of(tap.to_jsonl());
+  ASSERT_EQ(lines.size(), tap.size());
+  // 3 data packets, each enqueued once and delivered once.
+  ASSERT_EQ(lines.size(), 6u);
+  std::size_t enq = 0, del = 0;
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"t\":"), std::string::npos);
+    EXPECT_NE(line.find("\"subject\":7"), std::string::npos);  // the flow id
+    if (line.find("\"kind\":\"link.enqueued\"") != std::string::npos) ++enq;
+    if (line.find("\"kind\":\"link.delivered\"") != std::string::npos) ++del;
+  }
+  EXPECT_EQ(enq, 3u);
+  EXPECT_EQ(del, 3u);
+  // The first event is the first segment's enqueue: seq 0, a full payload.
+  EXPECT_NE(lines[0].find("\"kind\":\"link.enqueued\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"a\":0"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"b\":1460"), std::string::npos);
+}
+
+TEST(TraceTapJsonl, DropsMapToLinkDropped) {
+  test::HostPair net{1'000'000'000, sim::SimTime::micros(50),
+                     net::QueueConfig::droptail_packets(2)};
+  net::TraceTap tap;
+  tap.attach(*net.ab);
+  tcp::TcpReceiver recv{&net.b, 1, net.a.id()};
+  tcp::TcpConfig cfg;
+  cfg.initial_cwnd = 20.0;  // burst straight into the 2-packet queue
+  cfg.min_rto = sim::SimTime::millis(5);
+  tcp::RenoSender sender{&net.a, net.b.id(), 1, cfg};
+  sender.write(20 * 1460);
+  net.sim.run();
+  ASSERT_GT(tap.dropped_count(), 0u);
+
+  std::size_t dropped_lines = 0;
+  for (const auto& line : lines_of(tap.to_jsonl())) {
+    if (line.find("\"kind\":\"link.dropped\"") != std::string::npos) {
+      ++dropped_lines;
+    }
+  }
+  EXPECT_EQ(dropped_lines, tap.dropped_count());
+}
+
+TEST(TraceTapJsonl, BoundedRingExportsOnlyRetainedEntries) {
+  test::HostPair net;
+  net::TraceTap tap;
+  tap.set_max_entries(4);
+  tap.attach(*net.ab);
+  tcp::TcpReceiver recv{&net.b, 1, net.a.id()};
+  tcp::RenoSender sender{&net.a, net.b.id(), 1, tcp::TcpConfig{}};
+  sender.write(10 * 1460);
+  net.sim.run();
+  EXPECT_GT(tap.total_recorded(), 4u);
+  EXPECT_EQ(lines_of(tap.to_jsonl()).size(), 4u);
+}
+
+}  // namespace
+}  // namespace trim

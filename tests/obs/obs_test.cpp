@@ -1,0 +1,228 @@
+// Unit tests for the obs layer: metrics registry, flight recorder,
+// subject ids, JSONL formatting, and the scoped profiler.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "sim/config_error.hpp"
+
+namespace trim::obs {
+namespace {
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableHandles) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("tcp.segments_sent");
+  EXPECT_EQ(c, reg.counter("tcp.segments_sent"));
+  c->inc();
+  c->inc(4);
+  EXPECT_EQ(c->value, 5u);
+
+  Gauge* g = reg.gauge("queue.depth");
+  g->set(17.5);
+  EXPECT_EQ(g, reg.gauge("queue.depth"));
+  EXPECT_EQ(reg.instrument_count(), 2u);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndOverflow) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("rtt_us", 0.0, 100.0, 10);
+  h->observe(-1.0);   // underflow
+  h->observe(0.0);    // first bucket
+  h->observe(55.0);   // bucket 5
+  h->observe(99.99);  // last bucket
+  h->observe(100.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h->underflow(), 1u);
+  EXPECT_EQ(h->overflow(), 1u);
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_EQ(h->bin(0), 1u);
+  EXPECT_EQ(h->bin(5), 1u);
+  EXPECT_EQ(h->bin(9), 1u);
+  EXPECT_DOUBLE_EQ(h->sum(), -1.0 + 0.0 + 55.0 + 99.99 + 100.0);
+}
+
+TEST(MetricsRegistry, HistogramShapeMismatchThrows) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("rtt_us", 0.0, 100.0, 10);
+  EXPECT_EQ(h, reg.histogram("rtt_us", 0.0, 100.0, 10));  // same shape: fine
+  EXPECT_THROW(reg.histogram("rtt_us", 0.0, 200.0, 10), ConfigError);
+  EXPECT_THROW(reg.histogram("rtt_us", 0.0, 100.0, 20), ConfigError);
+}
+
+TEST(MetricsSnapshot, SortedByNameAndMergeSemantics) {
+  MetricsRegistry a;
+  a.counter("z.late")->inc(1);
+  a.counter("a.early")->inc(2);
+  a.gauge("peak")->set(3.0);
+  a.histogram("h", 0.0, 10.0, 2)->observe(1.0);
+
+  MetricsRegistry b;
+  b.counter("a.early")->inc(10);
+  b.counter("m.only_b")->inc(7);
+  b.gauge("peak")->set(9.0);
+  b.histogram("h", 0.0, 10.0, 2)->observe(6.0);
+
+  auto sa = a.snapshot();
+  ASSERT_EQ(sa.counters.size(), 2u);
+  EXPECT_EQ(sa.counters[0].name, "a.early");  // sorted
+  EXPECT_EQ(sa.counters[1].name, "z.late");
+
+  sa.merge(b.snapshot());
+  ASSERT_EQ(sa.counters.size(), 3u);
+  EXPECT_EQ(sa.counters[0].value, 12u);  // counters add
+  EXPECT_EQ(sa.counters[1].name, "m.only_b");
+  EXPECT_EQ(sa.counters[1].value, 7u);
+  ASSERT_EQ(sa.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(sa.gauges[0].value, 9.0);  // gauges keep the max
+  ASSERT_EQ(sa.histograms.size(), 1u);
+  EXPECT_EQ(sa.histograms[0].count, 2u);  // histograms add bucket-wise
+  EXPECT_EQ(sa.histograms[0].bins[0], 1u);
+  EXPECT_EQ(sa.histograms[0].bins[1], 1u);
+}
+
+TEST(MetricsSnapshot, MergeMismatchedHistogramShapeKeepsFirst) {
+  MetricsRegistry a, b;
+  a.histogram("h", 0.0, 10.0, 2)->observe(1.0);
+  b.histogram("h", 0.0, 20.0, 4)->observe(15.0);
+  auto sa = a.snapshot();
+  sa.merge(b.snapshot());
+  ASSERT_EQ(sa.histograms.size(), 1u);
+  EXPECT_EQ(sa.histograms[0].bins.size(), 2u);
+  EXPECT_EQ(sa.histograms[0].count, 1u);
+}
+
+TEST(MetricsSnapshot, ToJsonContainsAllSections) {
+  MetricsRegistry reg;
+  reg.counter("c")->inc(3);
+  reg.gauge("g")->set(1.5);
+  reg.histogram("h", 0.0, 1.0, 2)->observe(0.25);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(SubjectId, StableAndDistinguishesNames) {
+  constexpr std::uint32_t a = subject_id("switch->client");
+  static_assert(a == subject_id("switch->client"));
+  EXPECT_NE(subject_id("a->b"), subject_id("b->a"));
+}
+
+TEST(FlightRecorder, CountsWithoutRing) {
+  FlightRecorder rec;
+  EXPECT_FALSE(rec.ring_enabled());
+  rec.emit(sim::SimTime::millis(1), EventKind::kRtoFired, 7, 1.0, 2.0);
+  rec.emit(sim::SimTime::millis(2), EventKind::kRtoFired, 7);
+  EXPECT_EQ(rec.count(EventKind::kRtoFired), 2u);
+  EXPECT_EQ(rec.total_emitted(), 2u);
+  EXPECT_EQ(rec.size(), 0u);  // nothing retained: ring is off
+}
+
+TEST(FlightRecorder, RingOverwritesOldestWhenFull) {
+  FlightRecorder rec;
+  rec.enable(3);
+  for (int i = 0; i < 5; ++i) {
+    rec.emit(sim::SimTime::millis(i), EventKind::kLinkEnqueued,
+             static_cast<std::uint32_t>(i), i, 0.0);
+  }
+  EXPECT_EQ(rec.total_emitted(), 5u);
+  ASSERT_EQ(rec.size(), 3u);
+  // Oldest-first snapshot holds the 3 most recent events: subjects 2, 3, 4.
+  EXPECT_EQ(rec.event(0).subject, 2u);
+  EXPECT_EQ(rec.event(1).subject, 3u);
+  EXPECT_EQ(rec.event(2).subject, 4u);
+  const auto all = rec.events();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all.front().subject, 2u);
+  EXPECT_EQ(all.back().subject, 4u);
+}
+
+TEST(FlightRecorder, EventsByKindAndClear) {
+  FlightRecorder rec;
+  rec.enable(8);
+  rec.emit(sim::SimTime::millis(1), EventKind::kRtoArmed, 1);
+  rec.emit(sim::SimTime::millis(2), EventKind::kFastRetransmit, 1, 42.0, 8.0);
+  rec.emit(sim::SimTime::millis(3), EventKind::kRtoArmed, 1);
+  const auto armed = rec.events(EventKind::kRtoArmed);
+  ASSERT_EQ(armed.size(), 2u);
+  EXPECT_EQ(armed[0].at, sim::SimTime::millis(1));
+  const auto fr = rec.events(EventKind::kFastRetransmit);
+  ASSERT_EQ(fr.size(), 1u);
+  EXPECT_DOUBLE_EQ(fr[0].a, 42.0);
+
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.count(EventKind::kRtoArmed), 0u);
+  EXPECT_TRUE(rec.ring_enabled());  // capacity survives clear()
+}
+
+TEST(FlightRecorder, JsonlSchema) {
+  FlightRecorder rec;
+  rec.enable(4);
+  rec.emit(sim::SimTime::millis(1), EventKind::kTrimProbeEnter, 5, 40.0, 2.0);
+  const std::string jsonl = rec.to_jsonl();
+  EXPECT_NE(jsonl.find("\"kind\":\"trim.probe_enter\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"t\":0.001"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"subject\":5"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"a\":40"), std::string::npos);
+  EXPECT_EQ(jsonl.back(), '\n');
+}
+
+TEST(EventCounts, MergeAddsPerKind) {
+  EventCounts a, b;
+  a.by_kind[static_cast<std::size_t>(EventKind::kRtoFired)] = 2;
+  b.by_kind[static_cast<std::size_t>(EventKind::kRtoFired)] = 3;
+  b.by_kind[static_cast<std::size_t>(EventKind::kTrimGapDetected)] = 1;
+  a.merge(b);
+  EXPECT_EQ(a[EventKind::kRtoFired], 5u);
+  EXPECT_EQ(a[EventKind::kTrimGapDetected], 1u);
+  EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(EventKindNames, AllKindsHaveDottedNames) {
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    const std::string name = to_string(static_cast<EventKind>(k));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name.find('.'), std::string::npos) << name;
+  }
+}
+
+TEST(Profiler, ScopedTimerAccumulatesCallsAndItems) {
+  Profiler prof;
+  {
+    ScopedTimer t{prof, "phase.a"};
+    t.add_items(9);
+  }
+  { ScopedTimer t{prof, "phase.a"}; }
+  { ScopedTimer t{prof, "phase.b"}; }
+  const auto snap = prof.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "phase.a");  // sorted by name
+  EXPECT_EQ(snap[0].calls, 2u);
+  EXPECT_EQ(snap[0].items, 11u);  // each timer counts 1 + 9 extra
+  EXPECT_EQ(snap[1].name, "phase.b");
+  prof.clear();
+  EXPECT_TRUE(prof.snapshot().empty());
+}
+
+TEST(Profiler, ThreadSafeAdds) {
+  Profiler prof;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&prof] {
+      for (int i = 0; i < 1000; ++i) prof.add("contended", 1, 1);
+    });
+  }
+  for (auto& th : pool) th.join();
+  const auto snap = prof.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].calls, 4000u);
+  EXPECT_EQ(snap[0].wall_ns, 4000u);
+}
+
+}  // namespace
+}  // namespace trim::obs
