@@ -2,6 +2,7 @@
 #pragma once
 
 #include <sys/resource.h>
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -27,8 +28,9 @@ inline double peak_rss_bytes() {
 // Machine-readable bench results: collects (scenario, items/sec, metrics)
 // rows and writes them as `BENCH_<name>.json` so the perf trajectory can
 // be tracked across PRs (CI uploads these as artifacts). The file lands in
-// $BENCH_JSON_DIR when set, else the current directory. Human-readable
-// stdout output is unaffected.
+// $BENCH_JSON_DIR when set, else `bench_out/` under the working directory
+// (created on demand) so generated artifacts never mix with tracked
+// sources. Human-readable stdout output is unaffected.
 class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_{std::move(name)} {}
@@ -44,8 +46,9 @@ class BenchJson {
   void write() {
     if (written_) return;
     written_ = true;
-    std::string dir = ".";
+    std::string dir = "bench_out";
     if (const char* env = std::getenv("BENCH_JSON_DIR")) dir = env;
+    ::mkdir(dir.c_str(), 0755);  // EEXIST is fine; open errors handled below
     const std::string path = dir + "/BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;  // benches must not fail on read-only dirs

@@ -54,26 +54,27 @@ void Link::send(Packet p) {
   // header back from the queue's tail.
   if (!queue_->enqueue(std::move(p))) return;
   if (tap_ != nullptr) tap_->record(PacketEvent::kEnqueued, queue_->tail(), sim_->now());
-  if (!busy_) start_transmission();
+  if (!busy_ && queue_->dequeue_into(in_flight_)) {
+    busy_ = true;
+    begin_transmission();
+  }
 }
 
-void Link::start_transmission() {
-  auto popped = queue_->dequeue();
-  if (!popped) return;
-  busy_ = true;
-  const auto tx = sim::transmission_time(popped->size_bytes(), bps_);
-  auto done = [this, p = std::move(*popped)]() mutable {
-    on_transmit_done(std::move(p));
-  };
-  // Two of these fire per packet per hop; they must stay allocation-free.
+void Link::begin_transmission() {
+  // Self-clocked busy period: the continuation captures only `this`; the
+  // head packet sits in in_flight_ and drain() refills the slot itself
+  // until the queue runs dry. One scheduler touch per packet, no per-event
+  // packet moves through the closure.
+  const auto tx = sim::transmission_time(in_flight_.size_bytes(), bps_);
+  auto done = [this] { drain(); };
   static_assert(sizeof(done) <= sim::InlineCallback::kInlineBytes);
   sim_->schedule(tx, std::move(done));
 }
 
-void Link::on_transmit_done(Packet p) {
+void Link::drain() {
   // Serialization finished: propagate, then hand to the peer. The link is
   // free for the next head-of-line packet immediately.
-  busy_ = false;
+  Packet p = std::move(in_flight_);
   bytes_delivered_ += p.size_bytes();
   ++packets_delivered_;
   if (meter_ != nullptr) meter_->add(sim_->now(), p.size_bytes());
@@ -113,7 +114,14 @@ void Link::on_transmit_done(Packet p) {
   static_assert(sizeof(arrive) <= sim::InlineCallback::kInlineBytes);
   sim_->schedule(delay_ + extra, std::move(arrive));
 
-  if (!queue_->empty()) start_transmission();
+  // Arrival events are pushed before the next serialization event so the
+  // dispatch order (and thus every downstream trace) matches the packet
+  // timeline exactly.
+  if (queue_->dequeue_into(in_flight_)) {
+    begin_transmission();
+  } else {
+    busy_ = false;
+  }
 }
 
 }  // namespace trim::net

@@ -64,8 +64,8 @@ class Link {
   const fault::FaultInjector* fault_injector() const { return fault_; }
 
  private:
-  void start_transmission();
-  void on_transmit_done(Packet p);
+  void begin_transmission();
+  void drain();
 
   sim::Simulator* sim_;
   std::string name_;
@@ -74,6 +74,10 @@ class Link {
   std::unique_ptr<Queue> queue_;
   Node* peer_ = nullptr;
   bool busy_ = false;
+  // The packet currently being serialized. Keeping it in the link rather
+  // than in the event closure makes the busy-period continuation capture
+  // just `this`: one wire slot, refilled in place per drained packet.
+  Packet in_flight_;
 
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t packets_delivered_ = 0;

@@ -8,13 +8,19 @@
 
 namespace trim::net {
 
-std::optional<Packet> Queue::dequeue() {
-  if (fifo_.empty()) return std::nullopt;
-  Packet p = std::move(fifo_.front());
+bool Queue::dequeue_into(Packet& out) {
+  if (fifo_.empty()) return false;
+  out = std::move(fifo_.front());
   fifo_.pop_front();
-  bytes_ -= p.size_bytes();
+  bytes_ -= out.size_bytes();
   ++stats_.dequeued;
   record_occupancy();
+  return true;
+}
+
+std::optional<Packet> Queue::dequeue() {
+  std::optional<Packet> p{Packet{}};
+  if (!dequeue_into(*p)) return std::nullopt;
   return p;
 }
 

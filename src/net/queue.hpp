@@ -13,12 +13,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
 
 #include "net/packet.hpp"
+#include "sim/inline_callback.hpp"
 #include "sim/simulator.hpp"
 #include "stats/time_series.hpp"
 
@@ -39,7 +39,14 @@ class Queue {
   // Take ownership of `p`. Returns false when the packet was dropped.
   virtual bool enqueue(Packet p) = 0;
 
-  virtual std::optional<Packet> dequeue();
+  // The dequeue primitive: move the head packet into `out`, returning
+  // false when the queue is empty. The link's busy-period drain loop calls
+  // this once per packet, refilling its wire slot without an optional
+  // wrapper in between.
+  virtual bool dequeue_into(Packet& out);
+
+  // Convenience wrapper over dequeue_into.
+  std::optional<Packet> dequeue();
 
   std::size_t len_packets() const { return fifo_.size(); }
   std::uint64_t len_bytes() const { return bytes_; }
@@ -58,7 +65,7 @@ class Queue {
     trace_ = trace;
     clock_ = clock;
   }
-  void set_drop_callback(std::function<void(const Packet&)> cb) {
+  void set_drop_callback(sim::InlineFunction<void(const Packet&)> cb) {
     on_drop_ = std::move(cb);
   }
 
@@ -82,7 +89,7 @@ class Queue {
   QueueStats stats_;
   stats::TimeSeries* trace_ = nullptr;
   const sim::Simulator* clock_ = nullptr;
-  std::function<void(const Packet&)> on_drop_;
+  sim::InlineFunction<void(const Packet&)> on_drop_;
 
   const sim::Simulator* obs_clock_ = nullptr;
   std::uint32_t obs_subject_ = 0;

@@ -83,13 +83,13 @@ bool RedQueue::enqueue(Packet p) {
   return true;
 }
 
-std::optional<Packet> RedQueue::dequeue() {
-  auto p = Queue::dequeue();
+bool RedQueue::dequeue_into(Packet& out) {
+  const bool got = Queue::dequeue_into(out);
   if (fifo_.empty() && !idle_) {
     idle_ = true;
     idle_since_ = clock_->now();
   }
-  return p;
+  return got;
 }
 
 }  // namespace trim::net

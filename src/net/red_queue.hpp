@@ -36,7 +36,7 @@ class RedQueue : public Queue {
   RedQueue(RedConfig cfg, const sim::Simulator* clock);
 
   bool enqueue(Packet p) override;
-  std::optional<Packet> dequeue() override;  // tracks idle periods
+  bool dequeue_into(Packet& out) override;  // tracks idle periods
 
   double avg_queue() const { return avg_; }
   std::uint64_t early_drops() const { return early_drops_; }

@@ -1,6 +1,7 @@
 #include "obs/run_report.hpp"
 
 #include <sys/resource.h>
+#include <sys/stat.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +38,9 @@ bool quick_env() {
 std::string report_dir() {
   if (const char* env = std::getenv("REPORT_JSON_DIR")) return env;
   if (const char* env = std::getenv("BENCH_JSON_DIR")) return env;
-  return ".";
+  // Default next to the BENCH_*.json artifacts: a gitignored output
+  // directory instead of the (possibly tracked) working directory.
+  return "bench_out";
 }
 
 }  // namespace
@@ -119,7 +122,9 @@ std::string RunReport::to_json() const {
 }
 
 std::string RunReport::write() const {
-  const std::string path = report_dir() + "/REPORT_" + name_ + ".json";
+  const std::string dir = report_dir();
+  ::mkdir(dir.c_str(), 0755);  // EEXIST is fine; open errors handled below
+  const std::string path = dir + "/REPORT_" + name_ + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     sim::log_message(sim::LogLevel::kWarn, 0.0,

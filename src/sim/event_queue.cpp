@@ -1,9 +1,26 @@
 #include "sim/event_queue.hpp"
 
 #include <cassert>
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 
 namespace trim::sim {
+
+SchedulerKind scheduler_kind_from_env() {
+  static const SchedulerKind kind = [] {
+    const char* env = std::getenv("TRIM_SCHEDULER");
+    if (env != nullptr && std::string_view{env} == "heap") {
+      return SchedulerKind::kHeap;
+    }
+    return SchedulerKind::kWheel;
+  }();
+  return kind;
+}
+
+const char* to_string(SchedulerKind kind) {
+  return kind == SchedulerKind::kHeap ? "heap" : "wheel";
+}
 
 // 4-ary layout: children of heap position p are 4p+1 .. 4p+4, parent is
 // (p-1)/4. Half the tree depth of a binary heap means half the sift
@@ -11,7 +28,7 @@ namespace trim::sim {
 // entries — within one or two cache lines. Sifting moves a hole instead
 // of swapping: the displaced entry is written exactly once.
 
-EventId EventQueue::push(SimTime at, Callback cb) {
+EventId HeapEventQueue::push(SimTime at, Callback cb) {
   std::uint32_t idx;
   if (free_head_ != kNil) {
     idx = free_head_;
@@ -29,7 +46,7 @@ EventId EventQueue::push(SimTime at, Callback cb) {
   return EventId{idx, s.gen};
 }
 
-void EventQueue::cancel(EventId id) {
+void HeapEventQueue::cancel(EventId id) {
   if (!id.valid() || id.slot_ >= slots_.size()) return;
   const Slot& s = slots_[id.slot_];
   // Stale id: the event already fired or was cancelled (generation moved
@@ -38,18 +55,18 @@ void EventQueue::cancel(EventId id) {
   remove_heap_entry(s.heap_pos);
 }
 
-bool EventQueue::is_pending(EventId id) const {
+bool HeapEventQueue::is_pending(EventId id) const {
   if (!id.valid() || id.slot_ >= slots_.size()) return false;
   const Slot& s = slots_[id.slot_];
   return s.gen == id.gen_ && s.heap_pos != kNil;
 }
 
-SimTime EventQueue::next_time() const {
+SimTime HeapEventQueue::next_time() const {
   assert(!heap_.empty());
   return heap_[0].at;
 }
 
-EventQueue::Popped EventQueue::pop() {
+HeapEventQueue::Popped HeapEventQueue::pop() {
   assert(!heap_.empty());
   const std::uint32_t idx = heap_[0].slot;
   Popped out{heap_[0].at, std::move(slots_[idx].cb)};
@@ -60,13 +77,13 @@ EventQueue::Popped EventQueue::pop() {
   return out;
 }
 
-void EventQueue::clear() {
+void HeapEventQueue::clear() {
   for (const HeapEntry& e : heap_) release_slot(e.slot);
   heap_.clear();
   next_seq_ = 1;
 }
 
-void EventQueue::sift_up(std::uint32_t pos, HeapEntry e) {
+void HeapEventQueue::sift_up(std::uint32_t pos, HeapEntry e) {
   while (pos != 0) {
     const std::uint32_t parent = (pos - 1) / 4;
     if (!before(e, heap_[parent])) break;
@@ -76,7 +93,7 @@ void EventQueue::sift_up(std::uint32_t pos, HeapEntry e) {
   place(pos, e);
 }
 
-void EventQueue::sift_down(std::uint32_t pos, HeapEntry e) {
+void HeapEventQueue::sift_down(std::uint32_t pos, HeapEntry e) {
   const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
   while (true) {
     const std::uint32_t first_child = 4 * pos + 1;
@@ -93,7 +110,7 @@ void EventQueue::sift_down(std::uint32_t pos, HeapEntry e) {
   place(pos, e);
 }
 
-void EventQueue::remove_heap_entry(std::uint32_t pos) {
+void HeapEventQueue::remove_heap_entry(std::uint32_t pos) {
   const std::uint32_t idx = heap_[pos].slot;
   const HeapEntry tail = heap_.back();
   heap_.pop_back();
@@ -108,7 +125,7 @@ void EventQueue::remove_heap_entry(std::uint32_t pos) {
   release_slot(idx);
 }
 
-void EventQueue::release_slot(std::uint32_t idx) {
+void HeapEventQueue::release_slot(std::uint32_t idx) {
   Slot& s = slots_[idx];
   s.cb.reset();
   ++s.gen;

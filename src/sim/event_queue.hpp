@@ -1,4 +1,32 @@
-// Index-tracked 4-ary heap event queue with generation-tagged slots.
+// The simulator's pending-event set, behind a runtime-selected backend.
+//
+// Two backends implement the same contract — events dispatch in
+// (time, insertion-sequence) order, cancellation is true removal, stale
+// EventIds are no-ops by construction, and steady state allocates
+// nothing:
+//
+//   - HeapEventQueue: index-tracked 4-ary heap, O(log n) per operation.
+//   - CalendarQueue (sim/calendar_queue.hpp): hierarchical timing wheel,
+//     amortized O(1) per operation — flat in pending-event count, which is
+//     what the large fig08/fig12 sweeps are bound by.
+//
+// EventQueue is the thin facade the Simulator owns: it picks a backend at
+// construction (TRIM_SCHEDULER=heap|wheel, default wheel) and forwards.
+// Both backends dispatch byte-identically, so the switch is a pure A/B
+// performance knob. See docs/ENGINE.md for the lifecycle and invariants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/calendar_queue.hpp"
+#include "sim/inline_callback.hpp"
+#include "sim/sched_types.hpp"
+#include "sim/time.hpp"
+
+namespace trim::sim {
+
+// Index-tracked 4-ary heap backend with generation-tagged slots.
 //
 // Events live in a slot pool; the heap orders slot indices by
 // (time, insertion sequence) so equal-time events dispatch in insertion
@@ -12,37 +40,11 @@
 //
 // Steady state allocates nothing: released slots go on an intrusive free
 // list, the heap is a plain index vector, and callbacks are stored in
-// InlineCallback's in-place buffer. See docs/ENGINE.md for the lifecycle.
-#pragma once
-
-#include <cstdint>
-#include <vector>
-
-#include "sim/inline_callback.hpp"
-#include "sim/time.hpp"
-
-namespace trim::sim {
-
-// Opaque handle to a scheduled event; used to cancel timers. Stale handles
-// (event already fired or cancelled) are harmless.
-class EventId {
- public:
-  constexpr EventId() = default;
-  constexpr bool valid() const { return slot_ != kInvalid; }
-  constexpr auto operator<=>(const EventId&) const = default;
-
- private:
-  friend class EventQueue;
-  static constexpr std::uint32_t kInvalid = 0xffff'ffff;
-  constexpr EventId(std::uint32_t slot, std::uint32_t gen)
-      : slot_{slot}, gen_{gen} {}
-  std::uint32_t slot_ = kInvalid;
-  std::uint32_t gen_ = 0;
-};
-
-class EventQueue {
+// InlineCallback's in-place buffer.
+class HeapEventQueue {
  public:
   using Callback = InlineCallback;
+  using Popped = PoppedEvent;
 
   EventId push(SimTime at, Callback cb);
 
@@ -60,10 +62,6 @@ class EventQueue {
   SimTime next_time() const;
 
   // Pop and return the next event's callback. Queue must not be empty.
-  struct Popped {
-    SimTime at;
-    Callback cb;
-  };
   Popped pop();
 
   void clear();
@@ -103,6 +101,53 @@ class EventQueue {
   std::vector<HeapEntry> heap_;  // 4-ary min-heap on (at, seq)
   std::uint32_t free_head_ = kNil;
   std::uint64_t next_seq_ = 1;
+};
+
+// Facade over the two scheduler backends. Exactly one backend is active
+// per queue (chosen at construction and fixed for life); the inactive one
+// is an empty shell of unallocated vectors.
+class EventQueue {
+ public:
+  using Callback = InlineCallback;
+  using Popped = PoppedEvent;
+
+  EventQueue() : EventQueue{scheduler_kind_from_env()} {}
+  explicit EventQueue(SchedulerKind kind) : kind_{kind} {}
+
+  SchedulerKind kind() const { return kind_; }
+
+  EventId push(SimTime at, Callback cb) {
+    return kind_ == SchedulerKind::kHeap ? heap_.push(at, std::move(cb))
+                                         : wheel_.push(at, std::move(cb));
+  }
+  void cancel(EventId id) {
+    kind_ == SchedulerKind::kHeap ? heap_.cancel(id) : wheel_.cancel(id);
+  }
+  bool is_pending(EventId id) const {
+    return kind_ == SchedulerKind::kHeap ? heap_.is_pending(id)
+                                         : wheel_.is_pending(id);
+  }
+  bool empty() const {
+    return kind_ == SchedulerKind::kHeap ? heap_.empty() : wheel_.empty();
+  }
+  std::size_t size() const {
+    return kind_ == SchedulerKind::kHeap ? heap_.size() : wheel_.size();
+  }
+  SimTime next_time() const {
+    return kind_ == SchedulerKind::kHeap ? heap_.next_time()
+                                         : wheel_.next_time();
+  }
+  Popped pop() {
+    return kind_ == SchedulerKind::kHeap ? heap_.pop() : wheel_.pop();
+  }
+  void clear() {
+    kind_ == SchedulerKind::kHeap ? heap_.clear() : wheel_.clear();
+  }
+
+ private:
+  SchedulerKind kind_;
+  HeapEventQueue heap_;
+  CalendarQueue wheel_;
 };
 
 }  // namespace trim::sim

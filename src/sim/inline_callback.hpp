@@ -1,11 +1,18 @@
-// Move-only type-erased `void()` callable with a small-buffer optimization
-// sized for the engine's hottest captures: the link pipeline schedules one
-// transmit-done and one propagate event per packet per hop, each capturing
-// a full net::Packet (56 bytes) plus a pointer. std::function's typical
-// 16-byte SBO heap-allocates every one of those; InlineCallback stores any
-// capture up to kInlineBytes in place and touches the heap only for
-// oversized or throwing-move captures (none exist on the hot path —
-// link.cpp static_asserts its lambdas fit).
+// Move-only type-erased callables with a small-buffer optimization sized
+// for the engine's hottest captures.
+//
+// `InlineFunction<R(Args...)>` is the general template; the engine's event
+// callbacks use the `InlineCallback = InlineFunction<void()>` alias, and
+// the hot-path observer hooks (queue drop callback, receiver deliver
+// callback) use argument-taking instantiations so those paths stay free of
+// std::function's per-capture heap allocation too.
+//
+// The buffer is sized for the link pipeline: it schedules one propagate
+// event per packet per hop capturing a full net::Packet (56 bytes) plus a
+// pointer. std::function's typical 16-byte SBO heap-allocates every one of
+// those; InlineFunction stores any capture up to kInlineBytes in place and
+// touches the heap only for oversized or throwing-move captures (none
+// exist on the hot path — link.cpp static_asserts its lambdas fit).
 //
 // Dispatch goes through a per-type operations table (invoke / relocate /
 // destroy) instead of a vtable so the object stays trivially sized and
@@ -19,24 +26,28 @@
 
 namespace trim::sim {
 
-class InlineCallback {
+template <typename Sig>
+class InlineFunction;  // only the R(Args...) specialization exists
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)> {
  public:
   // 56-byte Packet + two pointers + slack; keeps the event-queue slot a
   // power-of-two 128 bytes (88 + ops pointer + slot bookkeeping).
   static constexpr std::size_t kInlineBytes = 88;
 
-  InlineCallback() = default;
+  InlineFunction() = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
     emplace(std::forward<F>(f));
   }
 
-  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
     if (this != &other) {
       reset();
       move_from(other);
@@ -44,12 +55,14 @@ class InlineCallback {
     return *this;
   }
 
-  InlineCallback(const InlineCallback&) = delete;
-  InlineCallback& operator=(const InlineCallback&) = delete;
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
 
-  ~InlineCallback() { reset(); }
+  ~InlineFunction() { reset(); }
 
-  void operator()() { ops_->invoke(storage_); }
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const { return ops_ != nullptr; }
 
@@ -65,7 +78,7 @@ class InlineCallback {
 
  private:
   struct Ops {
-    void (*invoke)(void* storage);
+    R (*invoke)(void* storage, Args&&... args);
     // Move-construct into `dst` from `src`, then destroy `src`.
     void (*relocate)(void* dst, void* src);
     void (*destroy)(void* storage);
@@ -88,7 +101,9 @@ class InlineCallback {
 
   template <typename Fn>
   static constexpr Ops kInlineOps{
-      [](void* s) { (*as<Fn>(s))(); },
+      [](void* s, Args&&... args) -> R {
+        return (*as<Fn>(s))(std::forward<Args>(args)...);
+      },
       [](void* dst, void* src) {
         Fn* f = as<Fn>(src);
         ::new (dst) Fn(std::move(*f));
@@ -100,7 +115,9 @@ class InlineCallback {
 
   template <typename Fn>
   static constexpr Ops kHeapOps{
-      [](void* s) { (**as_ptr<Fn>(s))(); },
+      [](void* s, Args&&... args) -> R {
+        return (**as_ptr<Fn>(s))(std::forward<Args>(args)...);
+      },
       [](void* dst, void* src) { ::new (dst) Fn*(*as_ptr<Fn>(src)); },
       [](void* s) { delete *as_ptr<Fn>(s); },
       /*heap=*/true,
@@ -118,7 +135,7 @@ class InlineCallback {
     }
   }
 
-  void move_from(InlineCallback& other) noexcept {
+  void move_from(InlineFunction& other) noexcept {
     ops_ = other.ops_;
     if (ops_ != nullptr) {
       ops_->relocate(storage_, other.storage_);
@@ -129,5 +146,8 @@ class InlineCallback {
   alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
+
+// The event queue's callback shape — the original InlineCallback.
+using InlineCallback = InlineFunction<void()>;
 
 }  // namespace trim::sim

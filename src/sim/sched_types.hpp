@@ -1,0 +1,57 @@
+// Types shared by the scheduler backends (the 4-ary heap and the
+// hierarchical calendar queue) and the EventQueue facade that selects
+// between them at runtime via TRIM_SCHEDULER. Both backends hand out the
+// same EventId handle — (slot, generation) into the backend's own slot
+// pool — so callers schedule and cancel identically regardless of which
+// backend is live.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/inline_callback.hpp"
+#include "sim/time.hpp"
+
+namespace trim::sim {
+
+class EventQueue;
+class HeapEventQueue;
+class CalendarQueue;
+
+// Opaque handle to a scheduled event; used to cancel timers. Stale handles
+// (event already fired or cancelled) are harmless.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr bool valid() const { return slot_ != kInvalid; }
+  constexpr auto operator<=>(const EventId&) const = default;
+
+ private:
+  friend class EventQueue;
+  friend class HeapEventQueue;
+  friend class CalendarQueue;
+  static constexpr std::uint32_t kInvalid = 0xffff'ffff;
+  constexpr EventId(std::uint32_t slot, std::uint32_t gen)
+      : slot_{slot}, gen_{gen} {}
+  std::uint32_t slot_ = kInvalid;
+  std::uint32_t gen_ = 0;
+};
+
+// The next event, popped off a scheduler backend.
+struct PoppedEvent {
+  SimTime at;
+  InlineCallback cb;
+};
+
+enum class SchedulerKind : std::uint8_t {
+  kHeap,   // index-tracked 4-ary heap: O(log n) schedule/pop/cancel
+  kWheel,  // hierarchical calendar queue: amortized O(1)
+};
+
+// TRIM_SCHEDULER=heap|wheel; anything else (including unset) selects the
+// wheel. Parsed once per process and cached — the A/B switch is meant for
+// whole-run comparisons, not mid-run flips.
+SchedulerKind scheduler_kind_from_env();
+
+const char* to_string(SchedulerKind kind);
+
+}  // namespace trim::sim

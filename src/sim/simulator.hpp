@@ -22,11 +22,16 @@ class Simulator {
  public:
   using Callback = EventQueue::Callback;
 
+  // The default constructor picks the scheduler backend from
+  // TRIM_SCHEDULER; the explicit overload pins one (A/B tests run a heap
+  // world and a wheel world side by side in one process).
   Simulator() = default;
+  explicit Simulator(SchedulerKind scheduler) : queue_{scheduler} {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
+  SchedulerKind scheduler_kind() const { return queue_.kind(); }
 
   // Schedule `cb` to run `delay` after now. Negative delays are clamped to
   // zero (run "immediately", after already-pending events at `now`).

@@ -22,11 +22,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "net/host.hpp"
 #include "net/packet.hpp"
+#include "sim/inline_callback.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/tcp_common.hpp"
 
@@ -55,7 +55,7 @@ class TcpReceiver : public net::Agent {
   std::uint64_t acks_sent() const { return acks_sent_; }
 
   // Called with the byte count each time new in-order data is delivered.
-  void set_deliver_callback(std::function<void(std::uint64_t)> cb) {
+  void set_deliver_callback(sim::InlineFunction<void(std::uint64_t)> cb) {
     on_deliver_ = std::move(cb);
   }
 
@@ -98,7 +98,7 @@ class TcpReceiver : public net::Agent {
   bool last_ce_state_ = false;
   sim::EventId delack_event_;
 
-  std::function<void(std::uint64_t)> on_deliver_;
+  sim::InlineFunction<void(std::uint64_t)> on_deliver_;
 };
 
 }  // namespace trim::tcp

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -10,8 +11,21 @@
 namespace trim::sim {
 namespace {
 
-TEST(EventQueue, PopsInTimeOrder) {
-  EventQueue q;
+// Every contract test runs against both scheduler backends: the 4-ary heap
+// and the calendar-queue wheel must be observably interchangeable.
+class EventQueueTest : public ::testing::TestWithParam<SchedulerKind> {
+ protected:
+  EventQueue q{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventQueueTest,
+                         ::testing::Values(SchedulerKind::kHeap,
+                                           SchedulerKind::kWheel),
+                         [](const auto& info) {
+                           return std::string{to_string(info.param)};
+                         });
+
+TEST_P(EventQueueTest, PopsInTimeOrder) {
   std::vector<int> order;
   q.push(SimTime::micros(30), [&] { order.push_back(3); });
   q.push(SimTime::micros(10), [&] { order.push_back(1); });
@@ -20,8 +34,7 @@ TEST(EventQueue, PopsInTimeOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, EqualTimesDispatchInInsertionOrder) {
-  EventQueue q;
+TEST_P(EventQueueTest, EqualTimesDispatchInInsertionOrder) {
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     q.push(SimTime::micros(5), [&order, i] { order.push_back(i); });
@@ -30,8 +43,7 @@ TEST(EventQueue, EqualTimesDispatchInInsertionOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
-TEST(EventQueue, CancelledEventsNeverFire) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelledEventsNeverFire) {
   int fired = 0;
   const auto id = q.push(SimTime::micros(1), [&] { ++fired; });
   q.push(SimTime::micros(2), [&] { ++fired; });
@@ -40,16 +52,14 @@ TEST(EventQueue, CancelledEventsNeverFire) {
   EXPECT_EQ(fired, 1);
 }
 
-TEST(EventQueue, CancelHeadThenNextTimeSkipsIt) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelHeadThenNextTimeSkipsIt) {
   const auto id = q.push(SimTime::micros(1), [] {});
   q.push(SimTime::micros(7), [] {});
   q.cancel(id);
   EXPECT_EQ(q.next_time(), SimTime::micros(7));
 }
 
-TEST(EventQueue, SizeExcludesCancelled) {
-  EventQueue q;
+TEST_P(EventQueueTest, SizeExcludesCancelled) {
   const auto a = q.push(SimTime::micros(1), [] {});
   q.push(SimTime::micros(2), [] {});
   EXPECT_EQ(q.size(), 2u);
@@ -57,8 +67,7 @@ TEST(EventQueue, SizeExcludesCancelled) {
   EXPECT_EQ(q.size(), 1u);
 }
 
-TEST(EventQueue, CancelIsIdempotentAndInvalidIdIsIgnored) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelIsIdempotentAndInvalidIdIsIgnored) {
   const auto id = q.push(SimTime::micros(1), [] {});
   q.cancel(id);
   q.cancel(id);
@@ -66,8 +75,7 @@ TEST(EventQueue, CancelIsIdempotentAndInvalidIdIsIgnored) {
   EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, ClearDropsEverything) {
-  EventQueue q;
+TEST_P(EventQueueTest, ClearDropsEverything) {
   q.push(SimTime::micros(1), [] {});
   q.push(SimTime::micros(2), [] {});
   q.clear();
@@ -75,18 +83,26 @@ TEST(EventQueue, ClearDropsEverything) {
   EXPECT_EQ(q.size(), 0u);
 }
 
-TEST(EventQueue, PopReturnsTimestamp) {
-  EventQueue q;
+TEST_P(EventQueueTest, ClearThenReuseStartsFresh) {
+  q.push(SimTime::micros(9), [] {});
+  q.clear();
+  std::vector<int> order;
+  q.push(SimTime::micros(2), [&] { order.push_back(2); });
+  q.push(SimTime::micros(1), [&] { order.push_back(1); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_P(EventQueueTest, PopReturnsTimestamp) {
   q.push(SimTime::micros(42), [] {});
   EXPECT_EQ(q.pop().at, SimTime::micros(42));
 }
 
 // Regression: cancelling an id whose event already fired used to insert a
 // tombstone that never drained, permanently skewing size() (the old
-// heap_.size() - cancelled_.size() underflowed a size_t). The
-// generation-tagged heap makes stale cancels a no-op by construction.
-TEST(EventQueue, CancelAfterFireIsNoOpAndSizeStaysExact) {
-  EventQueue q;
+// heap_.size() - cancelled_.size() underflowed a size_t). Generation-tagged
+// slots make stale cancels a no-op by construction in both backends.
+TEST_P(EventQueueTest, CancelAfterFireIsNoOpAndSizeStaysExact) {
   const auto fired = q.push(SimTime::micros(1), [] {});
   q.push(SimTime::micros(2), [] {});
   q.pop().cb();          // `fired` has dispatched
@@ -100,8 +116,7 @@ TEST(EventQueue, CancelAfterFireIsNoOpAndSizeStaysExact) {
 }
 
 // A stale id must not cancel the new occupant of a recycled slot.
-TEST(EventQueue, StaleIdDoesNotCancelRecycledSlot) {
-  EventQueue q;
+TEST_P(EventQueueTest, StaleIdDoesNotCancelRecycledSlot) {
   const auto old_id = q.push(SimTime::micros(1), [] {});
   q.pop();  // releases the slot; `old_id` is now stale
   int fired = 0;
@@ -112,8 +127,7 @@ TEST(EventQueue, StaleIdDoesNotCancelRecycledSlot) {
   EXPECT_EQ(fired, 1);
 }
 
-TEST(EventQueue, IsPendingTracksLifecycle) {
-  EventQueue q;
+TEST_P(EventQueueTest, IsPendingTracksLifecycle) {
   EXPECT_FALSE(q.is_pending(EventId{}));
   const auto a = q.push(SimTime::micros(1), [] {});
   const auto b = q.push(SimTime::micros(2), [] {});
@@ -125,8 +139,7 @@ TEST(EventQueue, IsPendingTracksLifecycle) {
   EXPECT_FALSE(q.is_pending(a));
 }
 
-TEST(EventQueue, CancelInteriorEntryKeepsDispatchOrder) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelInteriorEntryKeepsDispatchOrder) {
   std::vector<int> order;
   std::vector<EventId> ids;
   for (int i = 0; i < 64; ++i) {
@@ -143,8 +156,22 @@ TEST(EventQueue, CancelInteriorEntryKeepsDispatchOrder) {
   }
 }
 
-TEST(EventQueue, RandomizedCancelStressMatchesReferenceModel) {
-  EventQueue q;
+// Schedule-from-inside-a-callback at the current time must dispatch after
+// everything already pending at that time but before any later time — the
+// self-clocked link drain depends on this.
+TEST_P(EventQueueTest, PushAtCurrentTimeFromCallbackRunsInSequence) {
+  std::vector<int> order;
+  q.push(SimTime::micros(5), [&] {
+    order.push_back(0);
+    q.push(SimTime::micros(5), [&] { order.push_back(2); });
+  });
+  q.push(SimTime::micros(5), [&] { order.push_back(1); });
+  q.push(SimTime::micros(6), [&] { order.push_back(3); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_P(EventQueueTest, RandomizedCancelStressMatchesReferenceModel) {
   std::vector<std::pair<std::int64_t, EventId>> live;  // (time, id)
   std::uint64_t x = 987654321;
   auto rnd = [&x] {
@@ -174,8 +201,7 @@ TEST(EventQueue, RandomizedCancelStressMatchesReferenceModel) {
   EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, ManyEventsStressOrdering) {
-  EventQueue q;
+TEST_P(EventQueueTest, ManyEventsStressOrdering) {
   // Pseudo-random times; dispatch must still be monotone.
   std::uint64_t x = 12345;
   for (int i = 0; i < 5000; ++i) {
@@ -188,6 +214,31 @@ TEST(EventQueue, ManyEventsStressOrdering) {
     EXPECT_GE(at, prev);
     prev = at;
   }
+}
+
+// Times spread across many wheel levels (nanoseconds up to whole seconds)
+// exercise the cascade path; the heap is level-agnostic by construction.
+TEST_P(EventQueueTest, WideTimeRangeStillPopsInOrder) {
+  std::uint64_t x = 5150;
+  std::multiset<std::int64_t> expected;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const auto at = static_cast<std::int64_t>((x >> 33) % 5'000'000'000);
+    expected.insert(at);
+    q.push(SimTime::nanos(at), [] {});
+  }
+  for (const auto at : expected) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.pop().at, SimTime::nanos(at));
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueFacade, DefaultKindComesFromEnvironment) {
+  // The suite runs with TRIM_SCHEDULER unset or set by the CI matrix; either
+  // way the default-constructed facade must agree with the resolver.
+  EventQueue q;
+  EXPECT_EQ(q.kind(), scheduler_kind_from_env());
 }
 
 }  // namespace
