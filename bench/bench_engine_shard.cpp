@@ -1,0 +1,177 @@
+// Sharded-engine scaling curve: events/s of one giant scenario at 1, 2, 4,
+// and 8 shards, on the fig08 two-tier incast and the fig12 fat-tree.
+//
+// Each cell runs the identical workload (same config, same seed) with only
+// the shard count changed, takes the best of three trials (events/s from
+// the engine's own dispatch and wall counters), and reports the speedup
+// over the 1-shard serial engine. A determinism self-check re-runs the
+// widest sharded cell and fails the binary (non-zero exit) if any result
+// metric differs between repetitions.
+//
+// Numbers are only meaningful relative to `hw_threads` (reported in the
+// JSON): on a single-core host every width runs at serial speed minus
+// barrier overhead, and the curve flattens by construction. CI runs this
+// on multi-core runners; see BENCH_engine_shard.json.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exp/experiment.hpp"
+#include "exp/fattree_scenario.hpp"
+#include "exp/large_scale_scenario.hpp"
+
+namespace {
+
+using namespace trim;
+
+struct Cell {
+  int shards = 1;
+  double events_per_sec = 0.0;   // best of trials
+  std::uint64_t events = 0;
+  double run_wall_s = 0.0;       // of the best trial
+  double act_ms = 0.0;           // scenario-level sanity metric
+};
+
+exp::LargeScaleConfig fig08_config(int shards, bool quick) {
+  exp::LargeScaleConfig cfg;
+  cfg.protocol = tcp::Protocol::kReno;
+  cfg.num_switches = quick ? 10 : 25;
+  cfg.servers_per_switch = 42;
+  cfg.spt_window = sim::SimTime::seconds(quick ? 0.2 : 0.5);
+  cfg.drain = sim::SimTime::seconds(quick ? 0.3 : 0.7);
+  cfg.seed = 1;
+  cfg.shards = shards;
+  return cfg;
+}
+
+exp::FattreeConfig fig12_config(int shards, bool quick) {
+  exp::FattreeConfig cfg;
+  cfg.protocol = tcp::Protocol::kReno;
+  cfg.pods = quick ? 4 : 8;
+  cfg.run_until = sim::SimTime::seconds(quick ? 1.5 : 3.0);
+  cfg.seed = 1;
+  cfg.shards = shards;
+  return cfg;
+}
+
+template <typename Result, typename Run>
+Cell measure(int shards, int trials, Run run, double Result::* act) {
+  Cell cell;
+  cell.shards = shards;
+  for (int t = 0; t < trials; ++t) {
+    const Result r = run(shards);
+    const double eps =
+        r.run_wall_s > 0.0 ? static_cast<double>(r.events_dispatched) / r.run_wall_s : 0.0;
+    if (eps > cell.events_per_sec) {
+      cell.events_per_sec = eps;
+      cell.events = r.events_dispatched;
+      cell.run_wall_s = r.run_wall_s;
+    }
+    cell.act_ms = r.*act;
+  }
+  return cell;
+}
+
+template <typename Result, typename Run>
+bool determinism_check(const char* name, int shards, Run run, double Result::* act) {
+  const Result a = run(shards);
+  const Result b = run(shards);
+  if (a.events_dispatched != b.events_dispatched || a.*act != b.*act ||
+      a.drops != b.drops) {
+    std::fprintf(stderr,
+                 "DETERMINISM FAILURE [%s @ %d shards]: events %llu vs %llu, "
+                 "metric %.9g vs %.9g, drops %llu vs %llu\n",
+                 name, shards,
+                 static_cast<unsigned long long>(a.events_dispatched),
+                 static_cast<unsigned long long>(b.events_dispatched), a.*act,
+                 b.*act, static_cast<unsigned long long>(a.drops),
+                 static_cast<unsigned long long>(b.drops));
+    return false;
+  }
+  return true;
+}
+
+void print_curve(const char* title, const std::vector<Cell>& cells) {
+  std::printf("%s\n", title);
+  std::printf("  %-7s %14s %12s %10s %10s\n", "shards", "events/s", "events",
+              "wall (s)", "speedup");
+  const double serial = cells.front().events_per_sec;
+  for (const auto& c : cells) {
+    std::printf("  %-7d %14.0f %12llu %10.3f %9.2fx\n", c.shards,
+                c.events_per_sec, static_cast<unsigned long long>(c.events),
+                c.run_wall_s, serial > 0.0 ? c.events_per_sec / serial : 0.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = exp::quick_mode();
+  const int trials = quick ? 2 : 3;
+  const unsigned hw = std::thread::hardware_concurrency();
+  exp::print_banner("Sharded engine scaling (events/s vs TRIM_SHARDS)",
+                    "engine scalability for Figs. 8 and 12 scale scenarios");
+  std::printf("hardware threads: %u%s\n\n", hw,
+              hw <= 1 ? "  (single core: expect a flat curve)" : "");
+
+  const std::vector<int> widths{1, 2, 4, 8};
+  bench::BenchJson json{"engine_shard"};
+
+  // --- fig08-scale two-tier incast ---
+  auto run08 = [quick](int shards) {
+    return exp::run_large_scale(fig08_config(shards, quick));
+  };
+  std::vector<Cell> curve08;
+  for (const int w : widths) {
+    curve08.push_back(measure<exp::LargeScaleResult>(
+        w, trials, run08, &exp::LargeScaleResult::spt_act_ms));
+  }
+  print_curve("fig08-scale two-tier (1050 servers full / 420 quick):", curve08);
+  const double serial08 = curve08.front().events_per_sec;
+  for (const auto& c : curve08) {
+    json.add("fig08_scale_shards_" + std::to_string(c.shards), c.events_per_sec,
+             {{"shards", static_cast<double>(c.shards)},
+              {"events", static_cast<double>(c.events)},
+              {"run_wall_s", c.run_wall_s},
+              {"speedup_vs_serial",
+               serial08 > 0.0 ? c.events_per_sec / serial08 : 0.0},
+              {"spt_act_ms", c.act_ms},
+              {"hw_threads", static_cast<double>(hw)}});
+  }
+
+  // --- fig12-scale fat-tree ---
+  auto run12 = [quick](int shards) {
+    return exp::run_fattree(fig12_config(shards, quick));
+  };
+  std::vector<Cell> curve12;
+  for (const int w : widths) {
+    curve12.push_back(measure<exp::FattreeResult>(
+        w, trials, run12, &exp::FattreeResult::mean_completion_ms));
+  }
+  std::printf("\n");
+  print_curve("fig12-scale fat-tree (k=8 full / k=4 quick):", curve12);
+  const double serial12 = curve12.front().events_per_sec;
+  for (const auto& c : curve12) {
+    json.add("fattree_scale_shards_" + std::to_string(c.shards), c.events_per_sec,
+             {{"shards", static_cast<double>(c.shards)},
+              {"events", static_cast<double>(c.events)},
+              {"run_wall_s", c.run_wall_s},
+              {"speedup_vs_serial",
+               serial12 > 0.0 ? c.events_per_sec / serial12 : 0.0},
+              {"mean_completion_ms", c.act_ms},
+              {"hw_threads", static_cast<double>(hw)}});
+  }
+
+  // --- determinism self-check at the widest sharded width ---
+  std::printf("\ndeterminism self-check (8 shards, two repetitions)... ");
+  const bool ok =
+      determinism_check<exp::LargeScaleResult>("fig08", 8, run08,
+                                               &exp::LargeScaleResult::spt_act_ms) &&
+      determinism_check<exp::FattreeResult>("fattree", 8, run12,
+                                            &exp::FattreeResult::mean_completion_ms);
+  std::printf("%s\n", ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Gate engine throughput against the last recorded main-branch baseline.
+
+Compares the `items_per_sec` of matching scenarios between a freshly
+produced BENCH_*.json and a baseline copy restored from the CI cache
+(written by the last successful run on main). Scenarios are filtered by
+prefix so one bench file can carry several curves while only the gated
+one (the fig08-scale events/s) fails the build.
+
+A missing or unreadable baseline is not an error: the first run on a
+fresh cache simply records the current numbers (CI re-saves them when on
+main). Shared runners are noisy, so the default threshold is a generous
+10% — this catches real engine regressions (an accidental O(n) scan in
+the window loop), not scheduling jitter.
+
+Exit status: 0 = no regression (or no baseline), 1 = regression, 2 = bad
+invocation.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_results(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {row["scenario"]: row for row in doc.get("results", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="BENCH_*.json produced by this run")
+    parser.add_argument("--baseline", required=True,
+                        help="baseline BENCH_*.json from the cache (may be absent)")
+    parser.add_argument("--scenario-prefix", default="",
+                        help="only gate scenarios whose name starts with this")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional drop in items_per_sec (default 0.10)")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.current):
+        print(f"error: current results not found: {args.current}")
+        return 2
+    current = load_results(args.current)
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; recording current numbers only")
+        return 0
+    try:
+        baseline = load_results(args.baseline)
+    except (json.JSONDecodeError, KeyError) as err:
+        print(f"baseline unreadable ({err}); skipping the gate")
+        return 0
+
+    gated = sorted(s for s in current
+                   if s.startswith(args.scenario_prefix) and s in baseline)
+    if not gated:
+        print(f"no overlapping scenarios with prefix {args.scenario_prefix!r}; "
+              "nothing to gate")
+        return 0
+
+    failed = False
+    for scenario in gated:
+        cur = current[scenario]["items_per_sec"]
+        base = baseline[scenario]["items_per_sec"]
+        ratio = cur / base if base > 0 else float("inf")
+        status = "ok"
+        if base > 0 and ratio < 1.0 - args.threshold:
+            status = f"FAIL (-{(1.0 - ratio) * 100.0:.1f}% > {args.threshold * 100.0:.0f}%)"
+            failed = True
+        print(f"{scenario}: {cur:.3g} vs baseline {base:.3g} ev/s "
+              f"({ratio:.2f}x)  {status}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

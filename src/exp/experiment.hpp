@@ -14,12 +14,18 @@
 //                   "1" turns the simulation invariant checker on in
 //                   release builds (always on in debug builds). See
 //                   fault/invariant_checker.hpp and docs/FAULTS.md.
+//   TRIM_SHARDS     shard count for the parallel engine (default 1 = the
+//                   serial engine; clamped to [1, 256]). Scenarios that
+//                   partition their topology (fig08, fig12) run one giant
+//                   world across that many cores; everything else is
+//                   unaffected. See docs/ENGINE.md, "Sharded engine".
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/sender_factory.hpp"
 #include "fault/invariant_checker.hpp"
@@ -27,6 +33,7 @@
 #include "obs/telemetry.hpp"
 #include "sim/config_error.hpp"
 #include "sim/random.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace trim::exp {
@@ -37,12 +44,24 @@ bool quick_mode();
 // overrides both.
 int repeats(int dflt, int quick);
 
-// One isolated simulated world per run, instrumented by default: the
-// telemetry bundle attaches to the simulator in the constructor, so every
-// emit site in net/tcp/core feeds this world's (and only this world's)
-// registry and recorder — parallel sweep jobs never share telemetry state.
+// Shard count actually used by a World: `requested` >= 1 wins, anything
+// else falls back to the TRIM_SHARDS environment knob. Clamped to [1, 256].
+int resolve_shards(int requested);
+
+// One isolated simulated world per run, instrumented by default: each
+// shard's telemetry bundle attaches to that shard's simulator in the
+// constructor, so every emit site in net/tcp/core feeds this world's (and
+// only this world's) registries — parallel sweep jobs and parallel shards
+// never share telemetry state.
+//
+// With one shard (the default) this is exactly the old serial world:
+// `simulator` is the only event queue and `telemetry` its only bundle.
+// With TRIM_SHARDS=n (or World{n}), `engine` owns n shard simulators;
+// `simulator` aliases shard 0 (the control shard), where topologies are
+// built before topo::shard_network spreads them out.
 struct World {
   World();
+  explicit World(int shards);
   // Folds this world's event-loop wall time into obs::sweep_profiler()
   // ("sim.run", items = events dispatched), so bench reports break the
   // clock down into loop time vs. harness time.
@@ -50,15 +69,24 @@ struct World {
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
-  obs::Telemetry telemetry;  // declared first so it outlives the simulator
-  sim::Simulator simulator;
+  // Declared first so every bundle outlives its shard's simulator.
+  std::vector<std::unique_ptr<obs::Telemetry>> shard_telemetry;
+  sim::ShardedEngine engine;
+  obs::Telemetry& telemetry;   // shard 0's bundle
+  sim::Simulator& simulator;   // engine.control() — shard 0
   net::Network network;
 
+  int shard_count() const { return engine.shard_count(); }
+
+  // Drive the whole engine (all shards + mailboxes). Scenarios must call
+  // these — not simulator.run_until() — once the topology is partitioned.
+  std::uint64_t run() { return engine.run(); }
+  std::uint64_t run_until(sim::SimTime until) { return engine.run_until(until); }
+
   // The deterministic telemetry of this run (metrics + event counts),
-  // ready to merge across repeats in submission order.
-  obs::TelemetrySnapshot telemetry_snapshot() const {
-    return telemetry.snapshot();
-  }
+  // merged across shards in shard order, ready to merge across repeats in
+  // submission order.
+  obs::TelemetrySnapshot telemetry_snapshot() const;
 };
 
 // Seed for (experiment, run) pairs, stable across processes.
@@ -83,9 +111,13 @@ bool invariants_enabled();
 //   World world;
 //   InvariantScope inv{world, cfg.run_until};   // checkpoint grid
 //   inv.watch(*flow.sender); ...
-//   world.simulator.run_until(cfg.run_until);
+//   world.run_until(cfg.run_until);
 //   inv.finish();   // final checkpoint; loud failure on any violation
 //
+// Sharded worlds (shard_count() > 1) skip the periodic checkpoint grid —
+// a mid-run checkpoint would read every shard's state while the workers
+// are inside a window — but finish() still runs the full final check once
+// the engine has quiesced.
 // finish() must be called while the watched senders are still alive; it
 // prints every violation to stderr and (by default) aborts, so CI cannot
 // miss a broken run. The destructor only warns when finish() was skipped.

@@ -30,6 +30,9 @@ struct FattreeConfig {
   sim::SimTime run_until = sim::SimTime::seconds(6.0);
   sim::SimTime min_rto = sim::SimTime::millis(200);
   std::uint64_t seed = 1;
+  // Engine shards for this one run: 0 (the default) defers to TRIM_SHARDS.
+  // >1 spreads pods across that many cores (the scaling bench sets this).
+  int shards = 0;
 };
 
 struct FattreeResult {
@@ -39,6 +42,12 @@ struct FattreeResult {
   int completed_servers = 0;
   int total_servers = 0;
   std::uint64_t drops = 0;
+
+  // Engine accounting for the scaling bench: total events across shards,
+  // elapsed wall-clock of the engine run, shards actually used.
+  std::uint64_t events_dispatched = 0;
+  double run_wall_s = 0.0;
+  int shards = 1;
 
   // Deterministic run telemetry (metrics + event counts).
   obs::TelemetrySnapshot telemetry;

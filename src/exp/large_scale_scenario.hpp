@@ -27,6 +27,10 @@ struct LargeScaleConfig {
   sim::SimTime min_rto = sim::SimTime::millis(20);  // paper: 20 ms here
   sim::SimTime drain = sim::SimTime::seconds(0.7);  // extra time to finish
   std::uint64_t seed = 1;
+  // Engine shards for this one run: 0 (the default) defers to TRIM_SHARDS.
+  // >1 partitions the two-tier topology across that many cores (the bench
+  // sets this explicitly; TRIM_SHARDS=1 keeps the serial engine).
+  int shards = 0;
 };
 
 struct LargeScaleResult {
@@ -36,6 +40,12 @@ struct LargeScaleResult {
   int total_spts = 0;
   std::uint64_t spt_timeouts = 0;
   std::uint64_t drops = 0;
+
+  // Engine accounting for the scaling bench: total events across shards,
+  // elapsed wall-clock of the engine run, shards actually used.
+  std::uint64_t events_dispatched = 0;
+  double run_wall_s = 0.0;
+  int shards = 1;
 
   // Deterministic run telemetry (metrics + event counts).
   obs::TelemetrySnapshot telemetry;

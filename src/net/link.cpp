@@ -8,6 +8,7 @@
 #include "net/trace_tap.hpp"
 #include "obs/events.hpp"
 #include "sim/config_error.hpp"
+#include "sim/sharded_engine.hpp"
 
 namespace trim::net {
 
@@ -28,6 +29,25 @@ Link::Link(sim::Simulator* sim, std::string name, std::uint64_t bits_per_sec,
   // Queue events (watermarks, drop episodes) report under this link's
   // stable name hash, identical across runs and processes.
   queue_->set_telemetry(sim_, obs::subject_id(name_));
+}
+
+void Link::rebind_simulator(sim::Simulator* sim) {
+  if (sim == nullptr) {
+    throw ConfigError{"Link: null simulator", "link " + name_,
+                      "a live shard simulator"};
+  }
+  if (busy_) {
+    throw ConfigError{"Link: rebind while transmitting", "link " + name_,
+                      "rebind before traffic starts"};
+  }
+  sim_ = sim;
+  queue_->set_telemetry(sim_, obs::subject_id(name_));
+}
+
+void Link::set_cross_shard(sim::ShardedEngine* engine, int src_shard, int dst_shard) {
+  engine_ = engine;
+  src_shard_ = src_shard;
+  dst_shard_ = dst_shard;
 }
 
 void Link::set_tap(TraceTap* tap) {
@@ -104,7 +124,12 @@ void Link::drain() {
       peer_->receive(std::move(p));
     };
     static_assert(sizeof(arrive_dup) <= sim::InlineCallback::kInlineBytes);
-    sim_->schedule(delay_ + extra, std::move(arrive_dup));
+    if (engine_ != nullptr) {
+      engine_->post(src_shard_, dst_shard_, sim_->now() + delay_ + extra,
+                    std::move(arrive_dup));
+    } else {
+      sim_->schedule(delay_ + extra, std::move(arrive_dup));
+    }
   }
 
   auto arrive = [this, p = std::move(p)]() mutable {
@@ -112,7 +137,16 @@ void Link::drain() {
     peer_->receive(std::move(p));
   };
   static_assert(sizeof(arrive) <= sim::InlineCallback::kInlineBytes);
-  sim_->schedule(delay_ + extra, std::move(arrive));
+  if (engine_ != nullptr) {
+    // Shard cut: the arrival belongs to the peer's simulator. It lands in
+    // the (src, dst) mailbox and is scheduled at the next window barrier —
+    // delay_ >= the engine lookahead guarantees `due` is never behind the
+    // destination shard's clock.
+    engine_->post(src_shard_, dst_shard_, sim_->now() + delay_ + extra,
+                  std::move(arrive));
+  } else {
+    sim_->schedule(delay_ + extra, std::move(arrive));
+  }
 
   // Arrival events are pushed before the next serialization event so the
   // dispatch order (and thus every downstream trace) matches the packet

@@ -19,7 +19,9 @@ bool Queue::dequeue_into(Packet& out) {
 }
 
 std::optional<Packet> Queue::dequeue() {
-  std::optional<Packet> p{Packet{}};
+  // In-place default construction: dequeue_into move-assigns the head
+  // packet straight into the optional's storage (no throwaway temporary).
+  std::optional<Packet> p{std::in_place};
   if (!dequeue_into(*p)) return std::nullopt;
   return p;
 }

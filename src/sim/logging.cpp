@@ -1,6 +1,7 @@
 #include "sim/logging.hpp"
 
 #include <cstdio>
+#include <mutex>
 
 #include "sim/time.hpp"
 
@@ -31,6 +32,9 @@ class StderrLogSink : public LogSink {
 
 StderrLogSink g_stderr_sink;
 LogSink* g_sink = &g_stderr_sink;
+// Shard workers (sim/sharded_engine.hpp) log concurrently; serialize the
+// format-and-write so records never interleave mid-line.
+std::mutex g_sink_mutex;
 }  // namespace
 
 LogLevel log_level() { return g_level; }
@@ -51,6 +55,7 @@ void log_message(LogLevel level, double sim_time_s, const char* fmt, ...) {
   va_start(args, fmt);
   std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
+  const std::lock_guard<std::mutex> lock{g_sink_mutex};
   g_sink->write(level, sim_time_s, buf);
 }
 

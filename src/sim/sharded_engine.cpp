@@ -1,0 +1,191 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "sim/config_error.hpp"
+
+namespace trim::sim {
+
+ShardedEngine::ShardedEngine(int shards)
+    : ShardedEngine{shards, scheduler_kind_from_env()} {}
+
+ShardedEngine::ShardedEngine(int shards, SchedulerKind kind) {
+  if (shards < 1) {
+    throw ConfigError{"shard count must be >= 1", "ShardedEngine", "[1, 256]"};
+  }
+  if (shards > 256) shards = 256;
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Simulator>(kind));
+  }
+  mail_.resize(static_cast<std::size_t>(shards) * static_cast<std::size_t>(shards));
+}
+
+void ShardedEngine::note_cut_link(SimTime prop_delay) {
+  if (prop_delay <= SimTime::zero()) {
+    throw ConfigError{"cut link with zero propagation delay", "ShardedEngine",
+                      "partitions may only split links with prop_delay > 0"};
+  }
+  lookahead_ = std::min(lookahead_, prop_delay);
+  ++cut_links_;
+}
+
+void ShardedEngine::post(int src, int dst, SimTime due, InlineCallback cb) {
+  mail_[mailbox_index(src, dst)].push_back(Posted{due, std::move(cb)});
+}
+
+SimTime ShardedEngine::earliest_event() const {
+  SimTime m = SimTime::max();
+  for (const auto& s : shards_) m = std::min(m, s->next_event_time());
+  return m;
+}
+
+void ShardedEngine::flush_mailboxes() {
+  const int n = shard_count();
+  for (int dst = 0; dst < n; ++dst) {
+    for (int src = 0; src < n; ++src) {
+      auto& box = mail_[mailbox_index(src, dst)];
+      for (auto& entry : box) {
+        shards_[static_cast<std::size_t>(dst)]->schedule_at(entry.due,
+                                                            std::move(entry.cb));
+      }
+      box.clear();  // keeps capacity; steady state allocates nothing
+    }
+  }
+}
+
+std::uint64_t ShardedEngine::run() { return run_until(SimTime::max()); }
+
+std::uint64_t ShardedEngine::run_until(SimTime until) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t dispatched;
+  // Serial path: one shard, or no cut links (an unpartitioned world under
+  // TRIM_SHARDS>1 — every extra shard is empty, and with no cut links no
+  // mailbox can ever fill, so plain in-order draining is exact).
+  if (shard_count() == 1 || !sharded()) {
+    dispatched = 0;
+    for (auto& s : shards_) dispatched += s->run_until(until);
+  } else {
+    dispatched = run_windows(until);
+  }
+  elapsed_wall_ns_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  return dispatched;
+}
+
+std::uint64_t ShardedEngine::run_windows(SimTime until) {
+  const int n = shard_count();
+  const SimTime lookahead = lookahead_;
+  const std::uint64_t dispatched_before = events_dispatched();
+
+  // Window plan, recomputed at each barrier by exactly one thread. The
+  // first plan runs before any worker starts.
+  auto plan = [this, until, lookahead] {
+    flush_mailboxes();
+    const SimTime m = earliest_event();
+    if (m == SimTime::max() || m > until) {
+      done_ = true;
+      return;
+    }
+    // end <= m + lookahead: every cross-shard arrival produced inside the
+    // window is due at >= m + lookahead >= end, i.e. never behind any
+    // shard's clock. Progress: the shard owning m always dispatches.
+    window_end_ = until - m <= lookahead ? until : m + lookahead;
+    ++windows_run_;
+  };
+
+  done_ = false;
+  failed_shard_.store(-1, std::memory_order_relaxed);
+  plan();
+
+  if (!done_) {
+    std::barrier sync{n, [&plan, this]() noexcept {
+                        if (failed_shard_.load(std::memory_order_relaxed) >= 0) {
+                          done_ = true;
+                          return;
+                        }
+                        plan();
+                      }};
+
+    auto worker = [this, &sync](int shard_index) {
+      Simulator& sim = *shards_[static_cast<std::size_t>(shard_index)];
+      while (true) {
+        if (failed_shard_.load(std::memory_order_relaxed) < 0) {
+          try {
+            sim.run_until(window_end_);
+          } catch (...) {
+            // Record the fault but keep arriving at the barrier: the other
+            // workers must not be left waiting on a phase that never
+            // completes. Lowest shard index wins, deterministically-ish;
+            // the rethrow below reports the first recorded one.
+            int expected = -1;
+            if (failed_shard_.compare_exchange_strong(expected, shard_index,
+                                                      std::memory_order_acq_rel)) {
+              failure_ = std::current_exception();
+            }
+          }
+        }
+        sync.arrive_and_wait();
+        if (done_) break;
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n) - 1);
+    for (int i = 1; i < n; ++i) threads.emplace_back(worker, i);
+    worker(0);
+    for (auto& t : threads) t.join();
+
+    if (failed_shard_.load(std::memory_order_relaxed) >= 0 && failure_) {
+      std::rethrow_exception(failure_);
+    }
+  }
+
+  // Past the horizon (or fully drained): align every shard's clock with
+  // Simulator::run_until semantics. No events remain at or before `until`,
+  // so these calls dispatch nothing and only advance now().
+  if (until != SimTime::max()) {
+    for (auto& s : shards_) s->run_until(until);
+  }
+  return events_dispatched() - dispatched_before;
+}
+
+std::uint64_t ShardedEngine::events_dispatched() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->events_dispatched();
+  return n;
+}
+
+std::size_t ShardedEngine::pending_events() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->pending_events();
+  for (const auto& box : mail_) n += box.size();
+  return n;
+}
+
+std::uint64_t ShardedEngine::run_wall_ns() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->run_wall_ns();
+  return n;
+}
+
+int ShardedEngine::shards_from_env() {
+  static const int cached = [] {
+    const char* env = std::getenv("TRIM_SHARDS");
+    if (env == nullptr || env[0] == '\0') return 1;
+    const int n = std::atoi(env);
+    if (n <= 1) return 1;
+    return std::min(n, 256);
+  }();
+  return cached;
+}
+
+}  // namespace trim::sim

@@ -1,0 +1,143 @@
+// Sharded parallel discrete-event engine: one giant scenario on many cores.
+//
+// The engine owns N independent Simulator shards. A partitioned topology
+// (net::Network::apply_partition) rebinds every node and link to its
+// shard's simulator, so all intra-shard traffic runs exactly as in the
+// serial engine. Links whose endpoints live in different shards register
+// themselves as *cut links*; their delivery leg crosses shards through a
+// per-(source, destination) mailbox instead of the local event queue.
+//
+// Synchronization is conservative, in barrier windows:
+//
+//   lookahead L = min prop_delay over all cut links (must be > 0)
+//   window k   = (end_{k-1}, end_k],  end_k = min(until, m + L)
+//                where m is the earliest pending event across all shards
+//
+// Every shard runs its own events through end_k in parallel, then all
+// shards meet at a barrier. A packet handed to a cut link at time t inside
+// the window arrives at t + prop_delay >= m + L >= end_k, so no shard can
+// ever need an event another shard has not yet produced: cross-shard
+// arrivals are flushed from the mailboxes at the barrier — in fixed
+// (destination, source, FIFO) order — and scheduled before the next
+// window begins. Windows therefore never violate causality, and the whole
+// run is deterministic for a given shard count: mailbox flush order is a
+// pure function of simulation state, never of thread timing.
+//
+// Determinism contract (see docs/ENGINE.md "Sharded engine"):
+//   - TRIM_SHARDS=1 (the default) is the serial engine, byte-identical to
+//     a plain Simulator run.
+//   - TRIM_SHARDS=n is deterministic: same build + config + n => same
+//     results, at any hardware parallelism.
+//   - Across different n, events with *distinct* timestamps dispatch in
+//     identical order; simultaneous events on different shards may
+//     interleave differently (same-timestamp tie order is an engine
+//     artifact, exactly like heap-vs-wheel insertion order was before
+//     both backends pinned it).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/sched_types.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace trim::sim {
+
+class ShardedEngine {
+ public:
+  // `shards` >= 1. Every shard simulator uses `kind`; the default keeps
+  // the TRIM_SCHEDULER runtime switch working per shard.
+  explicit ShardedEngine(int shards);
+  ShardedEngine(int shards, SchedulerKind kind);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  Simulator& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+  const Simulator& shard(int i) const { return *shards_[static_cast<std::size_t>(i)]; }
+  // Shard 0, where unpartitioned worlds live (and the only shard when
+  // TRIM_SHARDS=1).
+  Simulator& control() { return shard(0); }
+
+  // Called by Network::apply_partition for every link whose endpoints land
+  // on different shards. Shrinks the lookahead to min(prop_delay); throws
+  // ConfigError on a zero-delay cut (the partition must not split such
+  // links — conservative sync would make no progress).
+  void note_cut_link(SimTime prop_delay);
+
+  // True once at least one cut link is registered; until then run() and
+  // run_until() take the serial path (shards in index order), which is
+  // what every unpartitioned scenario under TRIM_SHARDS>1 gets.
+  bool sharded() const { return cut_links_ > 0; }
+  SimTime lookahead() const { return lookahead_; }
+  int cut_links() const { return cut_links_; }
+
+  // Cross-shard hand-off: run `cb` on shard `dst` at time `due`. Called
+  // only from shard `src`'s thread during a window (the cut-link delivery
+  // path); due must be at or beyond the current window end, which the
+  // lookahead rule guarantees. Entries are buffered in the (src, dst)
+  // mailbox and flushed at the next barrier.
+  void post(int src, int dst, SimTime due, InlineCallback cb);
+
+  // Run until every shard (and every mailbox) drains, or until `until`
+  // (inclusive, like Simulator::run_until). Returns events dispatched by
+  // this call across all shards. Not reentrant.
+  std::uint64_t run();
+  std::uint64_t run_until(SimTime until);
+
+  // Aggregates over all shards.
+  std::uint64_t events_dispatched() const;
+  std::size_t pending_events() const;
+  // Summed per-shard event-loop wall time — CPU-time semantics (with n
+  // busy shards this approaches n x elapsed). Profiler food.
+  std::uint64_t run_wall_ns() const;
+  // Elapsed wall-clock spent inside run()/run_until() — the scaling
+  // denominator: events_dispatched / elapsed is the engine's true
+  // events-per-second, and shrinks as shards spread across cores.
+  std::uint64_t elapsed_wall_ns() const { return elapsed_wall_ns_; }
+
+  // Barrier windows executed by parallel runs so far (0 on the serial
+  // path); the scaling bench reports sync overhead from this.
+  std::uint64_t windows_run() const { return windows_run_; }
+
+  // TRIM_SHARDS env knob: unset / empty / <= 1 -> 1; values are clamped
+  // to [1, 256]. Parsed once per process and cached.
+  static int shards_from_env();
+
+ private:
+  struct Posted {
+    SimTime due;
+    InlineCallback cb;
+  };
+
+  std::size_t mailbox_index(int src, int dst) const {
+    return static_cast<std::size_t>(src) * shards_.size() +
+           static_cast<std::size_t>(dst);
+  }
+  // Earliest pending event across all shards (SimTime::max() when idle).
+  SimTime earliest_event() const;
+  // Schedule every buffered mailbox entry on its destination shard, in
+  // (destination, source, FIFO) order. Single-threaded: runs between
+  // windows only.
+  void flush_mailboxes();
+  std::uint64_t run_windows(SimTime until);
+
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<std::vector<Posted>> mail_;  // [src * n + dst]
+  SimTime lookahead_ = SimTime::max();
+  int cut_links_ = 0;
+  std::uint64_t windows_run_ = 0;
+  std::uint64_t elapsed_wall_ns_ = 0;
+
+  // Window-loop shared state; written by the barrier completion step only,
+  // read by workers after the barrier (the phase transition orders both).
+  SimTime window_end_;
+  bool done_ = false;
+  std::atomic<int> failed_shard_{-1};
+  std::exception_ptr failure_;  // written only by the CAS-winning worker
+};
+
+}  // namespace trim::sim

@@ -51,6 +51,12 @@ class Simulator {
   std::uint64_t events_dispatched() const { return dispatched_; }
   std::size_t pending_events() const { return queue_.size(); }
 
+  // Time of the earliest pending event, SimTime::max() when the queue is
+  // empty. The sharded engine plans its conservative windows from this.
+  SimTime next_event_time() const {
+    return queue_.empty() ? SimTime::max() : queue_.next_time();
+  }
+
   // The telemetry bundle observing this world, or nullptr (the default —
   // bare Simulators in unit tests carry no telemetry and every emit site
   // degrades to a pointer test). Set via obs::Telemetry::attach; the

@@ -1,0 +1,214 @@
+// Partitioner tests: every topology builder, at 1, 2, and 8 shards, must
+// produce a full, valid, deterministic partition whose cut links all carry
+// a positive propagation delay (the engine's lookahead requirement), and
+// whose affinity rules keep servers on the same shard as their access
+// switch.
+#include "topo/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/config_error.hpp"
+#include "sim/sharded_engine.hpp"
+#include "sim/simulator.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/many_to_one.hpp"
+#include "topo/multi_hop.hpp"
+#include "topo/two_tier.hpp"
+
+namespace trim::topo {
+namespace {
+
+struct BuilderCase {
+  std::string name;
+  std::function<void(net::Network&)> build;
+};
+
+std::vector<BuilderCase> builders() {
+  return {
+      {"many_to_one",
+       [](net::Network& n) {
+         ManyToOneConfig cfg;
+         cfg.num_servers = 12;
+         build_many_to_one(n, cfg);
+       }},
+      {"two_tier",
+       [](net::Network& n) {
+         TwoTierConfig cfg;
+         cfg.num_switches = 5;
+         cfg.servers_per_switch = 6;
+         build_two_tier(n, cfg);
+       }},
+      {"multi_hop",
+       [](net::Network& n) {
+         MultiHopConfig cfg;
+         cfg.group_size = 6;
+         build_multi_hop(n, cfg);
+       }},
+      {"fat_tree",
+       [](net::Network& n) {
+         FatTreeConfig cfg;
+         cfg.k = 4;
+         build_fat_tree(n, cfg);
+       }},
+  };
+}
+
+class PartitionBuilders : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionBuilders, ValidCompleteAndDeterministic) {
+  const int shards = GetParam();
+  for (const auto& b : builders()) {
+    sim::Simulator sim;
+    net::Network network{&sim};
+    b.build(network);
+
+    const Partition part = partition_network(network, shards);
+    SCOPED_TRACE(b.name + " @ " + std::to_string(shards) + " shards");
+
+    // Complete and in range.
+    ASSERT_EQ(part.shard_of_node.size(), network.node_count());
+    for (const int s : part.shard_of_node) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, shards);
+    }
+    EXPECT_EQ(part.shards, shards);
+    EXPECT_GT(part.groups, 0);
+    EXPECT_GE(part.imbalance(), 1.0);
+
+    // Cut links must support conservative lookahead.
+    if (part.cut_links > 0) {
+      EXPECT_GT(part.min_cut_delay, sim::SimTime::zero());
+    } else {
+      EXPECT_EQ(part.min_cut_delay, sim::SimTime::max());
+    }
+    if (shards == 1) {
+      EXPECT_EQ(part.cut_links, 0);
+    }
+
+    // Deterministic: a pure function of the topology.
+    const Partition again = partition_network(network, shards);
+    EXPECT_EQ(part.shard_of_node, again.shard_of_node);
+    EXPECT_EQ(part.cut_links, again.cut_links);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, PartitionBuilders, ::testing::Values(1, 2, 8));
+
+TEST(Partition, TwoTierKeepsRacksTogether) {
+  sim::Simulator sim;
+  net::Network network{&sim};
+  TwoTierConfig cfg;
+  cfg.num_switches = 5;
+  cfg.servers_per_switch = 6;
+  const auto topo = build_two_tier(network, cfg);
+
+  const Partition part = partition_network(network, 4);
+  for (int s = 0; s < cfg.num_switches; ++s) {
+    const int tor_shard = part.shard_of_node[topo.tors[s]->id()];
+    for (const auto* host : topo.servers[s]) {
+      EXPECT_EQ(part.shard_of_node[host->id()], tor_shard)
+          << "server " << host->name() << " split from its ToR";
+    }
+  }
+}
+
+TEST(Partition, FatTreeKeepsPodsTogether) {
+  sim::Simulator sim;
+  net::Network network{&sim};
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  const auto topo = build_fat_tree(network, cfg);
+
+  const Partition part = partition_network(network, 4);
+  // Pod membership: k/2 edge switches, k/2 agg switches, (k/2)^2 hosts
+  // per pod, appended pod-by-pod in build order.
+  const int half = cfg.k / 2;
+  for (int pod = 0; pod < cfg.k; ++pod) {
+    const int pod_shard =
+        part.shard_of_node[topo.edge_switches[pod * half]->id()];
+    for (int e = 0; e < half; ++e) {
+      EXPECT_EQ(part.shard_of_node[topo.edge_switches[pod * half + e]->id()], pod_shard);
+      EXPECT_EQ(part.shard_of_node[topo.agg_switches[pod * half + e]->id()], pod_shard);
+    }
+    for (int h = 0; h < half * half; ++h) {
+      EXPECT_EQ(part.shard_of_node[topo.hosts[pod * half * half + h]->id()], pod_shard);
+    }
+  }
+  // The core layer is one group on one shard.
+  const int core_shard = part.shard_of_node[topo.core_switches[0]->id()];
+  for (const auto* core : topo.core_switches) {
+    EXPECT_EQ(part.shard_of_node[core->id()], core_shard);
+  }
+}
+
+TEST(Partition, GenericRuleCoLocatesHostsWithAccessSwitch) {
+  // many_to_one carries no annotations, so the generic rule applies: the
+  // hub switch seeds a group and every single-homed host joins it — one
+  // group total, nothing cut at any width.
+  sim::Simulator sim;
+  net::Network network{&sim};
+  ManyToOneConfig cfg;
+  cfg.num_servers = 12;
+  const auto topo = build_many_to_one(network, cfg);
+
+  const Partition part = partition_network(network, 8);
+  const int hub_shard = part.shard_of_node[topo.sw->id()];
+  for (const auto* server : topo.servers) {
+    EXPECT_EQ(part.shard_of_node[server->id()], hub_shard);
+  }
+  EXPECT_EQ(part.shard_of_node[topo.front_end->id()], hub_shard);
+  EXPECT_EQ(part.cut_links, 0);
+}
+
+TEST(Partition, ShardNetworkRegistersCutLinksWithEngine) {
+  sim::ShardedEngine engine{4};
+  net::Network network{&engine.control()};
+  TwoTierConfig cfg;
+  cfg.num_switches = 5;
+  cfg.servers_per_switch = 6;
+  build_two_tier(network, cfg);
+
+  const Partition part = shard_network(network, engine);
+  ASSERT_GT(part.cut_links, 0);
+  EXPECT_TRUE(engine.sharded());
+  EXPECT_EQ(engine.cut_links(), part.cut_links);
+  EXPECT_EQ(engine.lookahead(), part.min_cut_delay);
+  // Every node now lives on the simulator of its assigned shard.
+  for (net::NodeId id = 0; id < network.node_count(); ++id) {
+    EXPECT_EQ(network.node(id).simulator(),
+              &engine.shard(part.shard_of_node[id]));
+    EXPECT_EQ(network.node_shard(id), part.shard_of_node[id]);
+  }
+}
+
+TEST(Partition, SingleShardEngineLeavesNetworkUntouched) {
+  sim::ShardedEngine engine{1};
+  net::Network network{&engine.control()};
+  TwoTierConfig cfg;
+  cfg.num_switches = 3;
+  cfg.servers_per_switch = 4;
+  build_two_tier(network, cfg);
+
+  const Partition part = shard_network(network, engine);
+  EXPECT_EQ(part.cut_links, 0);
+  EXPECT_FALSE(engine.sharded());
+  for (net::NodeId id = 0; id < network.node_count(); ++id) {
+    EXPECT_EQ(network.node(id).simulator(), &engine.control());
+  }
+}
+
+TEST(Partition, RejectsBadShardCount) {
+  sim::Simulator sim;
+  net::Network network{&sim};
+  ManyToOneConfig cfg;
+  build_many_to_one(network, cfg);
+  EXPECT_THROW(partition_network(network, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace trim::topo
