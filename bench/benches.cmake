@@ -33,6 +33,10 @@ trim_bench(bench_engine_shard)
 
 trim_bench(bench_flow_datapath)
 
+trim_bench(bench_memory)
+# The allocation-counting operator new/delete, so allocs/event is exact.
+target_sources(bench_memory PRIVATE $<TARGET_OBJECTS:trim_alloc_hook>)
+
 trim_bench(bench_related_delay)
 trim_bench(bench_model_validation)
 trim_bench(bench_persistent_connections)

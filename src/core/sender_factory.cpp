@@ -1,33 +1,42 @@
 #include "core/sender_factory.hpp"
 
+#include "mem/sim_memory.hpp"
 #include "sim/config_error.hpp"
 
 #include <stdexcept>
 
 namespace trim::core {
 
-std::unique_ptr<tcp::TcpSender> make_sender(tcp::Protocol protocol, net::Host* src,
-                                            net::NodeId dst, net::FlowId flow,
-                                            const ProtocolOptions& opts) {
+mem::ArenaPtr<tcp::TcpSender> make_sender(tcp::Protocol protocol, net::Host* src,
+                                          net::NodeId dst, net::FlowId flow,
+                                          const ProtocolOptions& opts) {
+  // Senders are carved from the source shard's arena in creation order:
+  // the per-ACK virtual dispatch then walks contiguous storage instead of
+  // scattered heap objects. Bare simulators (no attached domain) fall back
+  // to the heap — arena_new(nullptr) is make_unique.
+  mem::Arena* a = nullptr;
+  if (src != nullptr) {
+    if (mem::SimMemory* m = mem::memory_of(src->simulator())) a = &m->arena;
+  }
   switch (protocol) {
     case tcp::Protocol::kReno:
-      return std::make_unique<tcp::RenoSender>(src, dst, flow, opts.tcp);
+      return mem::arena_new<tcp::RenoSender>(a, src, dst, flow, opts.tcp);
     case tcp::Protocol::kCubic:
-      return std::make_unique<tcp::CubicSender>(src, dst, flow, opts.tcp, opts.cubic);
+      return mem::arena_new<tcp::CubicSender>(a, src, dst, flow, opts.tcp, opts.cubic);
     case tcp::Protocol::kDctcp:
-      return std::make_unique<tcp::DctcpSender>(src, dst, flow, opts.tcp, opts.dctcp);
+      return mem::arena_new<tcp::DctcpSender>(a, src, dst, flow, opts.tcp, opts.dctcp);
     case tcp::Protocol::kL2dct:
-      return std::make_unique<tcp::L2dctSender>(src, dst, flow, opts.tcp, opts.l2dct,
-                                                opts.dctcp);
+      return mem::arena_new<tcp::L2dctSender>(a, src, dst, flow, opts.tcp, opts.l2dct,
+                                              opts.dctcp);
     case tcp::Protocol::kTrim:
-      return std::make_unique<TrimSender>(src, dst, flow, opts.tcp, opts.trim);
+      return mem::arena_new<TrimSender>(a, src, dst, flow, opts.tcp, opts.trim);
     case tcp::Protocol::kVegas:
-      return std::make_unique<tcp::VegasSender>(src, dst, flow, opts.tcp, opts.vegas);
+      return mem::arena_new<tcp::VegasSender>(a, src, dst, flow, opts.tcp, opts.vegas);
     case tcp::Protocol::kD2tcp:
-      return std::make_unique<tcp::D2tcpSender>(src, dst, flow, opts.tcp, opts.d2tcp,
-                                                opts.dctcp);
+      return mem::arena_new<tcp::D2tcpSender>(a, src, dst, flow, opts.tcp, opts.d2tcp,
+                                              opts.dctcp);
     case tcp::Protocol::kGip:
-      return std::make_unique<tcp::GipSender>(src, dst, flow, opts.tcp, opts.gip);
+      return mem::arena_new<tcp::GipSender>(a, src, dst, flow, opts.tcp, opts.gip);
   }
   throw ConfigError{"unknown protocol", "make_sender"};
 }

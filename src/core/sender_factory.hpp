@@ -27,9 +27,11 @@ struct ProtocolOptions {
   tcp::GipConfig gip;       // only for kGip
 };
 
-std::unique_ptr<tcp::TcpSender> make_sender(tcp::Protocol protocol, net::Host* src,
-                                            net::NodeId dst, net::FlowId flow,
-                                            const ProtocolOptions& opts);
+// Arena-backed when the source host's simulator carries a mem::SimMemory
+// domain (scenario Worlds always do); heap-backed otherwise.
+mem::ArenaPtr<tcp::TcpSender> make_sender(tcp::Protocol protocol, net::Host* src,
+                                          net::NodeId dst, net::FlowId flow,
+                                          const ProtocolOptions& opts);
 
 // make_flow specialization wiring the factory above.
 tcp::Flow make_protocol_flow(net::Network& network, net::Host& src, net::Host& dst,

@@ -22,18 +22,29 @@ std::vector<std::unique_ptr<obs::Telemetry>> make_bundles(int shards) {
   }
   return bundles;
 }
+
+std::vector<std::unique_ptr<mem::SimMemory>> make_domains(int shards) {
+  std::vector<std::unique_ptr<mem::SimMemory>> domains;
+  domains.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    domains.push_back(std::make_unique<mem::SimMemory>());
+  }
+  return domains;
+}
 }  // namespace
 
 World::World() : World{0} {}
 
 World::World(int shards)
-    : shard_telemetry{make_bundles(resolve_shards(shards))},
+    : shard_memory{make_domains(resolve_shards(shards))},
+      shard_telemetry{make_bundles(static_cast<int>(shard_memory.size()))},
       engine{static_cast<int>(shard_telemetry.size())},
       telemetry{*shard_telemetry.front()},
       simulator{engine.control()},
       network{&simulator} {
   for (int i = 0; i < engine.shard_count(); ++i) {
     shard_telemetry[static_cast<std::size_t>(i)]->attach(engine.shard(i));
+    shard_memory[static_cast<std::size_t>(i)]->attach(engine.shard(i));
   }
 }
 

@@ -29,6 +29,7 @@
 
 #include "core/sender_factory.hpp"
 #include "fault/invariant_checker.hpp"
+#include "mem/sim_memory.hpp"
 #include "net/network.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/config_error.hpp"
@@ -69,7 +70,12 @@ struct World {
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
-  // Declared first so every bundle outlives its shard's simulator.
+  // Declared first so the memory domains (arenas + hot-state tables) are
+  // destroyed last: every flow endpoint this world created lives in one of
+  // these arenas and releases its hot-table slot from its destructor, so
+  // the domains must outlive the scenario's Flow objects and the engine.
+  std::vector<std::unique_ptr<mem::SimMemory>> shard_memory;
+  // Every bundle outlives its shard's simulator.
   std::vector<std::unique_ptr<obs::Telemetry>> shard_telemetry;
   sim::ShardedEngine engine;
   obs::Telemetry& telemetry;   // shard 0's bundle

@@ -69,11 +69,17 @@ std::vector<JobFailure> for_each_index_collect(
     return failures;
   }
 
-  std::atomic<std::size_t> cursor{0};
+  // The cursor is the only word every worker hammers; keep it on its own
+  // cache line so fetch_add never contends with the mutex or the failures
+  // vector header sitting next to it on the stack.
+  struct alignas(64) PoolState {
+    std::atomic<std::size_t> cursor{0};
+  };
+  PoolState state;
   std::mutex failures_mu;
   auto worker = [&] {
     while (true) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t i = state.cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
         obs::ScopedTimer job_timer{obs::sweep_profiler(), "sweep.job"};

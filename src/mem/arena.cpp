@@ -1,0 +1,52 @@
+#include "mem/arena.hpp"
+
+#include <algorithm>
+
+#include "sim/config_error.hpp"
+
+namespace trim::mem {
+
+Arena::Arena(std::size_t chunk_bytes)
+    : next_chunk_bytes_{std::max<std::size_t>(chunk_bytes, 1024)} {
+  if (chunk_bytes == 0) {
+    throw ConfigError{"zero chunk size", "Arena", ">= 1 byte"};
+  }
+}
+
+void Arena::add_chunk(std::size_t min_bytes) {
+  std::size_t size = next_chunk_bytes_;
+  while (size < min_bytes) size *= 2;
+  chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size, 0});
+  bytes_reserved_ += size;
+  // Geometric growth keeps the chunk count logarithmic in world size
+  // without over-reserving small worlds.
+  next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  if (align == 0) align = 1;
+  if (chunks_.empty()) add_chunk(bytes + align);
+  Chunk* c = &chunks_.back();
+  auto base = reinterpret_cast<std::uintptr_t>(c->data.get());
+  std::uintptr_t p = (base + c->used + (align - 1)) & ~(std::uintptr_t{align} - 1);
+  if (p + bytes > base + c->size) {
+    add_chunk(bytes + align);
+    c = &chunks_.back();
+    base = reinterpret_cast<std::uintptr_t>(c->data.get());
+    p = (base + (align - 1)) & ~(std::uintptr_t{align} - 1);
+  }
+  c->used = (p - base) + bytes;
+  bytes_allocated_ += bytes;
+  ++objects_;
+  return reinterpret_cast<void*>(p);
+}
+
+void Arena::release() {
+  chunks_.clear();
+  bytes_reserved_ = 0;
+  bytes_allocated_ = 0;
+  objects_ = 0;
+}
+
+}  // namespace trim::mem

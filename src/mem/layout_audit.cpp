@@ -1,0 +1,4 @@
+// Instantiates the compile-time layout audit inside trim_mem so every
+// build verifies the cache-line contracts, whether or not any test
+// includes the header.
+#include "mem/layout_audit.hpp"

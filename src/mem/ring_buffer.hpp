@@ -1,0 +1,126 @@
+// Power-of-two ring buffer with deque-front/back semantics.
+//
+// net::Queue's FIFO was a std::deque<Packet>; with 56-byte packets a
+// libstdc++ deque block holds ~9 of them, so a busy switch port crossed a
+// block boundary (one heap allocation or deallocation) every few packets —
+// the single biggest steady-state allocation source in the hot loop. The
+// ring stores elements in one power-of-two slab indexed by masked
+// monotonically increasing head/tail counters: push_back and pop_front are
+// an index bump each, and once the slab has grown to the episode's peak
+// occupancy the queue never allocates again. reserve() lets bounded queues
+// (droptail capacity in packets) pre-size the slab so even the first burst
+// is allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace trim::mem {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+  ~RingBuffer() { destroy_all(); }
+
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+  RingBuffer(RingBuffer&& other) noexcept
+      : slab_{std::exchange(other.slab_, nullptr)},
+        capacity_{std::exchange(other.capacity_, 0)},
+        head_{std::exchange(other.head_, 0)},
+        tail_{std::exchange(other.tail_, 0)} {}
+  RingBuffer& operator=(RingBuffer&& other) noexcept {
+    if (this != &other) {
+      destroy_all();
+      slab_ = std::exchange(other.slab_, nullptr);
+      capacity_ = std::exchange(other.capacity_, 0);
+      head_ = std::exchange(other.head_, 0);
+      tail_ = std::exchange(other.tail_, 0);
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return tail_ - head_; }
+  bool empty() const { return head_ == tail_; }
+  std::size_t capacity() const { return capacity_; }
+
+  // Grow the slab so at least `n` elements fit without reallocating.
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  void push_back(T v) {
+    if (size() == capacity_) grow(capacity_ == 0 ? kMinCapacity : capacity_ * 2);
+    ::new (slot(tail_)) T(std::move(v));
+    ++tail_;
+  }
+
+  T& front() { return *slot(head_); }
+  const T& front() const { return *slot(head_); }
+  T& back() { return *slot(tail_ - 1); }
+  const T& back() const { return *slot(tail_ - 1); }
+
+  void pop_front() {
+    slot(head_)->~T();
+    ++head_;
+  }
+
+  // i-th element from the front (observers / tests).
+  const T& operator[](std::size_t i) const { return *slot(head_ + i); }
+
+  void clear() {
+    destroy_elements();
+    head_ = tail_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;  // power of two
+
+  T* slot(std::size_t logical) const {
+    return std::launder(reinterpret_cast<T*>(
+        slab_ + (logical & (capacity_ - 1)) * sizeof(T)));
+  }
+
+  void grow(std::size_t min_capacity) {
+    std::size_t cap = kMinCapacity;
+    while (cap < min_capacity) cap *= 2;
+    auto* slab = static_cast<std::byte*>(
+        ::operator new(cap * sizeof(T), std::align_val_t{alignof(T)}));
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      T* src = slot(head_ + i);
+      ::new (slab + i * sizeof(T)) T(std::move(*src));
+      src->~T();
+    }
+    free_slab();
+    slab_ = slab;
+    capacity_ = cap;
+    head_ = 0;
+    tail_ = n;
+  }
+
+  void destroy_elements() {
+    for (std::size_t i = head_; i != tail_; ++i) slot(i)->~T();
+  }
+  void free_slab() {
+    if (slab_ != nullptr) {
+      ::operator delete(slab_, std::align_val_t{alignof(T)});
+    }
+  }
+  void destroy_all() {
+    destroy_elements();
+    free_slab();
+  }
+
+  std::byte* slab_ = nullptr;
+  std::size_t capacity_ = 0;  // always 0 or a power of two
+  // Monotonic logical indices; physical slot = index & (capacity - 1).
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+}  // namespace trim::mem

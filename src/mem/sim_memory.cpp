@@ -1,0 +1,32 @@
+#include "mem/sim_memory.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace trim::mem {
+
+namespace {
+// Fallback domains for bare simulators, keyed by Simulator address. Never
+// erased: a test's senders may release hot-state slots from destructors
+// that run after the simulator is gone, and an address-reused Simulator
+// simply inherits a (fully released) domain. Growth is bounded by the
+// number of distinct bare simulators a process creates — scenario Worlds
+// attach their own domains and never touch this map.
+std::mutex g_registry_mu;
+std::map<const sim::Simulator*, std::unique_ptr<SimMemory>>& registry() {
+  static auto* m = new std::map<const sim::Simulator*, std::unique_ptr<SimMemory>>;
+  return *m;
+}
+}  // namespace
+
+SimMemory& ensure_memory(sim::Simulator& sim) {
+  if (SimMemory* m = sim.memory()) return *m;
+  const std::lock_guard<std::mutex> lock{g_registry_mu};
+  auto& slot = registry()[&sim];
+  if (!slot) slot = std::make_unique<SimMemory>();
+  slot->attach(sim);
+  return *slot;
+}
+
+}  // namespace trim::mem

@@ -76,6 +76,11 @@ DropTailQueue::DropTailQueue(QueueConfig cfg) : cfg_{cfg} {
   if (cfg_.capacity_packets == 0 && cfg_.capacity_bytes == 0) {
     // An unlimited queue is legal (host NIC side), nothing to validate.
   }
+  // The ring grows on demand to peak occupancy and then keeps its
+  // capacity, so steady state is allocation-free without pre-sizing.
+  // (Eagerly reserving capacity_packets here would pin the full buffer
+  // in every queue of a large fabric — tens of MB of RSS across
+  // thousands of mostly-idle ports.)
 }
 
 bool DropTailQueue::has_room(const Packet& p) const {

@@ -12,11 +12,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <memory>
 #include <optional>
 
+#include "mem/ring_buffer.hpp"
 #include "net/packet.hpp"
 #include "sim/inline_callback.hpp"
 #include "sim/simulator.hpp"
@@ -84,7 +84,10 @@ class Queue {
   void drop(const Packet& p);
   void record_occupancy();
 
-  std::deque<Packet> fifo_;
+  // Power-of-two ring (was std::deque): a busy port's deque crossed a heap
+  // block boundary every ~9 packets; the ring grows to peak occupancy once
+  // and then never allocates. Bounded queues pre-size it in the ctor.
+  mem::RingBuffer<Packet> fifo_;
   std::uint64_t bytes_ = 0;
   QueueStats stats_;
   stats::TimeSeries* trace_ = nullptr;

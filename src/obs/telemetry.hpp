@@ -38,7 +38,11 @@ struct TelemetrySnapshot {
   }
 };
 
-class Telemetry {
+// alignas(64): one bundle per shard, each incremented from its own worker
+// thread on every segment/ACK — the counters of two bundles must never
+// share a cache line (the bundles are heap-allocated per shard; alignment
+// guarantees the line split even if an allocator co-locates them).
+class alignas(64) Telemetry {
  public:
   // Pre-registered handles for the hot emit sites, resolved once here so
   // the per-ack / per-segment path is a plain pointer increment.

@@ -120,6 +120,11 @@ std::uint32_t CalendarQueue::bucket_of(std::int64_t at) const {
 void CalendarQueue::bucket_insert(std::uint32_t bucket, std::uint32_t idx) {
   Node& n = nodes_[idx];
   auto& vec = buckets_[bucket];
+  if (vec.capacity() == 0 && !spare_.empty()) {
+    vec = std::move(spare_.back());
+    spare_.pop_back();
+    vec.clear();
+  }
   n.where = static_cast<std::uint16_t>(bucket);
   n.pos = static_cast<std::uint32_t>(vec.size());
   vec.push_back(BucketEntry{n.at, idx});
@@ -233,6 +238,7 @@ void CalendarQueue::refill_ready() {
       if (vec.size() == 1) {
         const std::uint32_t only = vec.front().slot;
         vec.clear();
+        spare_.push_back(std::move(vec));  // donate; see spare_'s comment
         bucket_consumed(level, slot, 1);
         Node& n = nodes_[only];
         n.where = kWhereReady;
@@ -255,6 +261,9 @@ void CalendarQueue::refill_ready() {
       // sign bit, but a swap here keeps the loop safely re-entrant).
       cascade_.clear();
       cascade_.swap(vec);
+      if (vec.capacity() != 0) {  // donate the old scratch storage
+        spare_.push_back(std::move(vec));
+      }
       for (std::size_t i = 0; i < cascade_.size(); ++i) {
         if (i + 1 < cascade_.size()) {
           __builtin_prefetch(&nodes_[cascade_[i + 1].slot]);

@@ -140,6 +140,13 @@ class CalendarQueue {
   std::uint32_t free_head_ = kNil;
   std::vector<std::vector<BucketEntry>> buckets_;  // kBucketCount, lazily sized
   std::vector<BucketEntry> cascade_;  // scratch for draining one bucket
+  // Recycled bucket storage. A high-level bucket is consumed once and then
+  // not revisited for a full rotation of its level (seconds to hours), so
+  // letting it keep its vector would strand the capacity while the *next*
+  // bucket along the wheel grows from zero — a slow allocation drip for as
+  // long as the simulation runs. Consumed high-level buckets donate their
+  // storage here; bucket_insert into a capacity-zero bucket takes it back.
+  std::vector<std::vector<BucketEntry>> spare_;
   std::uint64_t occ_[kLevels][kWordsPerLevel] = {};
   // Live events per level: lets refill_ready skip empty levels outright
   // instead of scanning their bitmaps (a near-empty wheel pops in a few

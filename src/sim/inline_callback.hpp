@@ -63,6 +63,13 @@ class InlineFunction<R(Args...)> {
   R operator()(Args... args) {
     return ops_->invoke(storage_, std::forward<Args>(args)...);
   }
+  // Const overload so factories held by const reference stay invocable
+  // (std::function parity). The target is still invoked as non-const —
+  // the engine's callables are stateless or own their mutation.
+  R operator()(Args... args) const {
+    return ops_->invoke(const_cast<unsigned char*>(storage_),
+                        std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const { return ops_ != nullptr; }
 

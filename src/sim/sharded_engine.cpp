@@ -37,7 +37,7 @@ void ShardedEngine::note_cut_link(SimTime prop_delay) {
 }
 
 void ShardedEngine::post(int src, int dst, SimTime due, InlineCallback cb) {
-  mail_[mailbox_index(src, dst)].push_back(Posted{due, std::move(cb)});
+  mail_[mailbox_index(src, dst)].posts.push_back(Posted{due, std::move(cb)});
 }
 
 SimTime ShardedEngine::earliest_event() const {
@@ -50,7 +50,7 @@ void ShardedEngine::flush_mailboxes() {
   const int n = shard_count();
   for (int dst = 0; dst < n; ++dst) {
     for (int src = 0; src < n; ++src) {
-      auto& box = mail_[mailbox_index(src, dst)];
+      auto& box = mail_[mailbox_index(src, dst)].posts;
       for (auto& entry : box) {
         shards_[static_cast<std::size_t>(dst)]->schedule_at(entry.due,
                                                             std::move(entry.cb));
@@ -167,7 +167,7 @@ std::uint64_t ShardedEngine::events_dispatched() const {
 std::size_t ShardedEngine::pending_events() const {
   std::size_t n = 0;
   for (const auto& s : shards_) n += s->pending_events();
-  for (const auto& box : mail_) n += box.size();
+  for (const auto& box : mail_) n += box.posts.size();
   return n;
 }
 

@@ -112,6 +112,14 @@ class ShardedEngine {
     SimTime due;
     InlineCallback cb;
   };
+  // Cache-line aligned so two shards posting into adjacent (src, dst)
+  // boxes during a window never write the same line — a bare
+  // vector<vector> packs four 24-byte headers per line, and the header
+  // (size pointer) is exactly what push_back mutates.
+  struct alignas(64) Mailbox {
+    std::vector<Posted> posts;
+  };
+  static_assert(alignof(Mailbox) == 64, "mailbox false-sharing pad");
 
   std::size_t mailbox_index(int src, int dst) const {
     return static_cast<std::size_t>(src) * shards_.size() +
@@ -126,7 +134,7 @@ class ShardedEngine {
   std::uint64_t run_windows(SimTime until);
 
   std::vector<std::unique_ptr<Simulator>> shards_;
-  std::vector<std::vector<Posted>> mail_;  // [src * n + dst]
+  std::vector<Mailbox> mail_;  // [src * n + dst]
   SimTime lookahead_ = SimTime::max();
   int cut_links_ = 0;
   std::uint64_t windows_run_ = 0;

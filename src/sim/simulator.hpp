@@ -16,6 +16,10 @@ namespace trim::obs {
 class Telemetry;  // obs/telemetry.hpp; trim_sim must not depend on trim_obs
 }
 
+namespace trim::mem {
+struct SimMemory;  // mem/sim_memory.hpp; trim_sim must not depend on trim_mem
+}
+
 namespace trim::sim {
 
 class Simulator {
@@ -64,6 +68,12 @@ class Simulator {
   obs::Telemetry* telemetry() const { return telemetry_; }
   void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
 
+  // The memory domain (arena + SoA hot-state table) backing this world's
+  // flows, or nullptr for bare simulators that never build flows. Set via
+  // mem::SimMemory::attach; opaque here so trim_sim stays free of trim_mem.
+  mem::SimMemory* memory() const { return memory_; }
+  void set_memory(mem::SimMemory* memory) { memory_ = memory; }
+
   // Wall-clock nanoseconds spent inside run()/run_until() so far. Feeds
   // the "profile" section of run reports; never read by the simulation
   // itself, so determinism is unaffected.
@@ -74,6 +84,7 @@ class Simulator {
   SimTime now_;
   std::uint64_t dispatched_ = 0;
   obs::Telemetry* telemetry_ = nullptr;
+  mem::SimMemory* memory_ = nullptr;
   std::uint64_t run_wall_ns_ = 0;
 };
 

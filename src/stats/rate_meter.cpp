@@ -1,5 +1,6 @@
 #include "stats/rate_meter.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -11,8 +12,21 @@ void RateMeter::add(sim::SimTime at, std::uint64_t bytes) {
   if (idx < kMaxDenseBins) {
     if (idx >= bins_.size()) bins_.resize(static_cast<std::size_t>(idx) + 1, 0);
     bins_[static_cast<std::size_t>(idx)] += bytes;
+  } else if (!sparse_.empty() && sparse_.back().idx == idx) {
+    sparse_.back().bytes += bytes;  // the common case: monotone time
+  } else if (sparse_.empty() || idx > sparse_.back().idx) {
+    sparse_.push_back({idx, bytes});
   } else {
-    sparse_[idx] += bytes;
+    // Out-of-order overflow sample (merged multi-source meters): ordered
+    // insert keeps the vector sorted for the range scans below.
+    const auto it = std::lower_bound(
+        sparse_.begin(), sparse_.end(), idx,
+        [](const SparseBin& b, std::uint64_t i) { return b.idx < i; });
+    if (it != sparse_.end() && it->idx == idx) {
+      it->bytes += bytes;
+    } else {
+      sparse_.insert(it, {idx, bytes});
+    }
   }
   total_bytes_ += bytes;
 }
@@ -24,11 +38,11 @@ TimeSeries RateMeter::series_mbps() const {
     const double mbps = static_cast<double>(bins_[i]) * 8.0 / bin_s / 1e6;
     out.record(bin_width_ * static_cast<std::int64_t>(i), mbps);
   }
-  // Sparse bins all lie past the dense range and the map iterates in
-  // index order, so the series stays time-sorted.
-  for (const auto& [idx, bin_bytes] : sparse_) {
-    const double mbps = static_cast<double>(bin_bytes) * 8.0 / bin_s / 1e6;
-    out.record(bin_width_ * static_cast<std::int64_t>(idx), mbps);
+  // Sparse bins all lie past the dense range and the vector is sorted by
+  // index, so the series stays time-sorted.
+  for (const auto& bin : sparse_) {
+    const double mbps = static_cast<double>(bin.bytes) * 8.0 / bin_s / 1e6;
+    out.record(bin_width_ * static_cast<std::int64_t>(bin.idx), mbps);
   }
   return out;
 }
@@ -42,10 +56,21 @@ double RateMeter::mean_mbps(sim::SimTime from, sim::SimTime to) const {
   for (std::uint64_t i = lo; i < hi && i < bins_.size(); ++i) {
     bytes += bins_[static_cast<std::size_t>(i)];
   }
-  for (auto it = sparse_.lower_bound(lo); it != sparse_.end() && it->first < hi; ++it) {
-    bytes += it->second;
+  for (auto it = std::lower_bound(
+           sparse_.begin(), sparse_.end(), lo,
+           [](const SparseBin& b, std::uint64_t i) { return b.idx < i; });
+       it != sparse_.end() && it->idx < hi; ++it) {
+    bytes += it->bytes;
   }
   return static_cast<double>(bytes) * 8.0 / (to - from).to_seconds() / 1e6;
+}
+
+void RateMeter::reset() {
+  bins_.clear();
+  bins_.shrink_to_fit();
+  sparse_.clear();
+  sparse_.shrink_to_fit();
+  total_bytes_ = 0;
 }
 
 }  // namespace trim::stats

@@ -1,5 +1,6 @@
 #include "tcp/flow.hpp"
 
+#include "mem/sim_memory.hpp"
 #include "sim/config_error.hpp"
 
 #include <stdexcept>
@@ -13,7 +14,12 @@ Flow make_flow(net::Network& network, net::Host& src, net::Host& dst,
   }
   Flow flow;
   flow.id = network.new_flow_id();
-  flow.receiver = std::make_unique<TcpReceiver>(&dst, flow.id, src.id());
+  // The receiver lives in the destination shard's arena (its callbacks run
+  // on that shard); the factory decides where the sender lives — the
+  // protocol factories use the source shard's arena.
+  mem::Arena* arena = nullptr;
+  if (mem::SimMemory* m = mem::memory_of(dst.simulator())) arena = &m->arena;
+  flow.receiver = mem::arena_new<TcpReceiver>(arena, &dst, flow.id, src.id());
   flow.sender = factory(&src, dst.id(), flow.id);
   return flow;
 }

@@ -4,23 +4,30 @@
 // across requests, so every experiment starts from the established state.
 #pragma once
 
-#include <functional>
 #include <memory>
 
+#include "mem/arena.hpp"
 #include "net/network.hpp"
+#include "sim/inline_callback.hpp"
 #include "tcp/tcp_receiver.hpp"
 #include "tcp/tcp_sender.hpp"
 
 namespace trim::tcp {
 
+// ArenaPtr: the endpoints are carved from their shard's arena (contiguous
+// in creation order, destroyed individually, storage freed en masse with
+// the world). A plain std::make_unique factory still converts — the
+// deleter remembers heap-backed objects and deletes them normally.
 struct Flow {
   net::FlowId id = net::kInvalidFlow;
-  std::unique_ptr<TcpSender> sender;
-  std::unique_ptr<TcpReceiver> receiver;
+  mem::ArenaPtr<TcpSender> sender;
+  mem::ArenaPtr<TcpReceiver> receiver;
 };
 
 // Builds the sender half; lets callers inject any TcpSender subclass.
-using SenderFactory = std::function<std::unique_ptr<TcpSender>(
+// InlineFunction (not std::function): scenarios construct thousands of
+// flows through one factory, and the capture must not heap-allocate.
+using SenderFactory = sim::InlineFunction<mem::ArenaPtr<TcpSender>(
     net::Host* src, net::NodeId dst, net::FlowId flow)>;
 
 // Allocates a flow id from `network`, constructs the receiver on `dst` and

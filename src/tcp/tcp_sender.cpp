@@ -9,6 +9,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "mem/sim_memory.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/logging.hpp"
 
@@ -23,9 +24,7 @@ TcpSender::TcpSender(net::Host* host, net::NodeId dst, net::FlowId flow, TcpConf
       dst_{dst},
       flow_{flow},
       cfg_{cfg},
-      sim_{host != nullptr ? host->simulator() : nullptr},
-      cwnd_{cfg.initial_cwnd},
-      ssthresh_{kInitialSsthresh} {
+      sim_{host != nullptr ? host->simulator() : nullptr} {
   if (host_ == nullptr) {
     throw ConfigError{"null host",
                       "TcpSender, flow " + std::to_string(flow_)};
@@ -34,6 +33,13 @@ TcpSender::TcpSender(net::Host* host, net::NodeId dst, net::FlowId flow, TcpConf
     throw ConfigError{"zero MSS", "TcpSender, flow " + std::to_string(flow_),
                       ">= 1 byte"};
   }
+  // Claim this flow's SoA slot in the shard's hot-state table (worlds
+  // attach a per-shard domain; bare simulators get a registry fallback),
+  // then seed the window fields that used to be member initializers.
+  hot_ = &mem::ensure_memory(*sim_).hot;
+  slot_ = hot_->acquire(flow_);
+  cwnd_ref() = cfg_.initial_cwnd;
+  ssthresh_ref() = kInitialSsthresh;
   established_ = !cfg_.simulate_handshake;
   host_->register_agent(flow_, this);
 }
@@ -41,6 +47,7 @@ TcpSender::TcpSender(net::Host* host, net::NodeId dst, net::FlowId flow, TcpConf
 TcpSender::~TcpSender() {
   cancel_rto();
   host_->unregister_agent(flow_);
+  hot_->release(slot_);
 }
 
 std::uint64_t TcpSender::write(std::uint64_t bytes) {
@@ -69,15 +76,22 @@ std::uint64_t TcpSender::write(std::uint64_t bytes) {
 }
 
 const TcpSender::MessageRecord* TcpSender::find_message(SeqNum seq) const {
-  // Binary search the outstanding records by first segment. The deque is
+  // Binary search the outstanding records by first segment. The ring is
   // sorted (messages are appended in write order and popped from the
   // front), and callers only ever ask about unacked segments, whose
   // records are guaranteed to still be present.
-  const auto it = std::upper_bound(
-      messages_.begin(), messages_.end(), seq,
-      [](SeqNum s, const MessageRecord& r) { return s < r.first_seg; });
-  if (it == messages_.begin()) return nullptr;
-  const MessageRecord& r = *std::prev(it);
+  std::size_t lo = 0;
+  std::size_t hi = messages_.size();
+  while (lo < hi) {  // upper_bound on first_seg
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (seq < messages_[mid].first_seg) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (lo == 0) return nullptr;
+  const MessageRecord& r = messages_[lo - 1];
   return seq <= r.last_seg ? &r : nullptr;
 }
 
@@ -118,26 +132,26 @@ void TcpSender::send_syn() {
 }
 
 std::uint64_t TcpSender::window_segments() const {
-  return static_cast<std::uint64_t>(std::max(cwnd_, 1.0));
+  return static_cast<std::uint64_t>(std::max(cwnd(), 1.0));
 }
 
 void TcpSender::try_send() {
   if (!established_) return;  // data waits for the SYN-ACK
-  while (snd_next_ < total_segments_ && in_flight() < window_segments()) {
-    const bool retransmission = snd_next_ < max_seq_sent_;
+  while (snd_next() < total_segments_ && in_flight() < window_segments()) {
+    const bool retransmission = snd_next() < max_seq_sent_;
     if (!retransmission && !cc_allow_new_segment()) break;
-    send_segment(snd_next_, retransmission);
-    ++snd_next_;
-    max_seq_sent_ = std::max(max_seq_sent_, snd_next_);
+    send_segment(snd_next(), retransmission);
+    ++snd_next_ref();
+    max_seq_sent_ = std::max(max_seq_sent_, snd_next());
   }
 }
 
 void TcpSender::force_send_segment(SeqNum seq) {
-  assert(seq == snd_next_ && seq < total_segments_);
+  assert(seq == snd_next() && seq < total_segments_);
   const bool retransmission = seq < max_seq_sent_;
   send_segment(seq, retransmission);
-  ++snd_next_;
-  max_seq_sent_ = std::max(max_seq_sent_, snd_next_);
+  ++snd_next_ref();
+  max_seq_sent_ = std::max(max_seq_sent_, snd_next());
 }
 
 void TcpSender::send_segment(SeqNum seq, bool retransmission) {
@@ -180,24 +194,27 @@ void TcpSender::send_redundant_copy(SeqNum seq) {
 
 void TcpSender::arm_rto() {
   cancel_rto();
-  auto rto = rtt_.rto(cfg_.min_rto, cfg_.max_rto);
+  auto rto = rtt().rto(cfg_.min_rto, cfg_.max_rto);
   for (int i = 0; i < rto_backoff_; ++i) {
     rto = std::min(rto * 2, cfg_.max_rto);
   }
   obs::emit(sim_, obs::EventKind::kRtoArmed, flow_, rto.to_seconds(),
             static_cast<double>(rto_backoff_));
   rto_timer_ = sim_->schedule(rto, [this] { on_rto(); });
+  hot_->rto_deadline(slot_) = sim_->now() + rto;
 }
 
 void TcpSender::cancel_rto() {
   if (rto_timer_.valid()) {
     sim_->cancel(rto_timer_);
     rto_timer_ = sim::EventId{};
+    hot_->rto_deadline(slot_) = sim::SimTime::max();
   }
 }
 
 void TcpSender::on_rto() {
   rto_timer_ = sim::EventId{};
+  hot_->rto_deadline(slot_) = sim::SimTime::max();
   if (!established_) {  // lost SYN or SYN-ACK: retry the handshake
     ++stats_.timeouts;
     ++rto_backoff_;
@@ -214,14 +231,14 @@ void TcpSender::on_rto() {
     arm_rto();
     return;
   }
-  if (snd_una_ == total_segments_) return;  // nothing outstanding
+  if (snd_una() == total_segments_) return;  // nothing outstanding
 
   ++stats_.timeouts;
   obs::emit(sim_, obs::EventKind::kRtoFired, flow_,
-            static_cast<double>(rto_backoff_), static_cast<double>(snd_una_));
+            static_cast<double>(rto_backoff_), static_cast<double>(snd_una()));
   TRIM_LOG(sim::LogLevel::kDebug, sim_, "flow %u: RTO (snd_una=%llu snd_next=%llu cwnd=%.1f)",
-           flow_, static_cast<unsigned long long>(snd_una_),
-           static_cast<unsigned long long>(snd_next_), cwnd_);
+           flow_, static_cast<unsigned long long>(snd_una()),
+           static_cast<unsigned long long>(snd_next()), cwnd());
 
   in_recovery_ = false;
   dupacks_ = 0;
@@ -230,10 +247,10 @@ void TcpSender::on_rto() {
   // Go-back-N: resume from the first unacked segment; the (now tiny)
   // window throttles the refill, and cumulative ACKs from segments the
   // receiver already holds fast-forward snd_una.
-  snd_next_ = snd_una_;
+  snd_next_ref() = snd_una();
   ++rto_backoff_;
   obs::emit(sim_, obs::EventKind::kRtoBackoff, flow_,
-            static_cast<double>(rto_backoff_), static_cast<double>(snd_una_));
+            static_cast<double>(rto_backoff_), static_cast<double>(snd_una()));
   arm_rto();
   try_send();
 }
@@ -244,7 +261,7 @@ void TcpSender::on_packet(const net::Packet& p) {
   if (p.syn) {  // SYN-ACK completes the handshake
     if (!established_) {
       established_ = true;
-      rtt_.add_sample(sim_->now() - p.ts);
+      rtt_ref().add_sample(sim_->now() - p.ts);
       cancel_rto();
       try_send();
     }
@@ -256,8 +273,8 @@ void TcpSender::on_packet(const net::Packet& p) {
   ev.ack_of_seq = p.ack_of_seq;
   ev.rtt = sim_->now() - p.ts;
   ev.ece = p.ece;
-  ev.is_dup = p.seq == snd_una_ && snd_next_ > snd_una_;
-  ev.newly_acked = p.seq > snd_una_ ? p.seq - snd_una_ : 0;
+  ev.is_dup = p.seq == snd_una() && snd_next() > snd_una();
+  ev.newly_acked = p.seq > snd_una() ? p.seq - snd_una() : 0;
 
   ++stats_.acked_segments;
   if (ev.ece) ++stats_.ecn_marked_acks;
@@ -272,12 +289,12 @@ void TcpSender::on_packet(const net::Packet& p) {
   }
   // else: stale ACK below snd_una with nothing in flight — ignore.
 
-  if (cwnd_trace_ != nullptr) cwnd_trace_->record(sim_->now(), cwnd_);
+  if (cwnd_trace_ != nullptr) cwnd_trace_->record(sim_->now(), cwnd());
   try_send();
 }
 
 void TcpSender::handle_new_ack(const AckEvent& ev) {
-  rtt_.add_sample(ev.rtt);
+  rtt_ref().add_sample(ev.rtt);
   rto_backoff_ = 0;
 
   // Advance byte accounting to the cumulative ACK in O(log outstanding
@@ -285,24 +302,24 @@ void TcpSender::handle_new_ack(const AckEvent& ev) {
   const std::uint64_t acked_upto = bytes_upto(ev.ack_seq);
   stats_.goodput_bytes += acked_upto - acked_bytes_;
   acked_bytes_ = acked_upto;
-  snd_una_ = ev.ack_seq;
+  snd_una_ref() = ev.ack_seq;
   // ACKs can arrive for data beyond a post-RTO go-back-N pointer.
-  snd_next_ = std::max(snd_next_, snd_una_);
+  snd_next_ref() = std::max(snd_next(), snd_una());
   dupacks_ = 0;
 
   if (in_recovery_) {
-    if (snd_una_ >= recover_) {
+    if (snd_una() >= recover_) {
       // Full ACK: recovery complete, deflate to ssthresh.
       in_recovery_ = false;
-      set_cwnd(ssthresh_);
+      set_cwnd(ssthresh());
     } else {
       // NewReno partial ACK: retransmit the next hole, deflate by the
       // amount acked (plus one for the retransmission).
-      set_cwnd(std::max(cwnd_ - static_cast<double>(ev.newly_acked) + 1.0,
+      set_cwnd(std::max(cwnd() - static_cast<double>(ev.newly_acked) + 1.0,
                         cfg_.min_cwnd));
-      if (snd_next_ > snd_una_) {
-        // The hole is at snd_una_: resend it immediately.
-        send_segment(snd_una_, true);
+      if (snd_next() > snd_una()) {
+        // The hole is at snd_una: resend it immediately.
+        send_segment(snd_una(), true);
       }
     }
   } else {
@@ -311,7 +328,7 @@ void TcpSender::handle_new_ack(const AckEvent& ev) {
 
   check_message_completion();
 
-  if (snd_una_ == total_segments_ && snd_next_ == total_segments_) {
+  if (snd_una() == total_segments_ && snd_next() == total_segments_) {
     cancel_rto();  // everything delivered
   } else {
     arm_rto();  // restart for the oldest outstanding data
@@ -322,17 +339,17 @@ void TcpSender::handle_dupack(AckEvent&) {
   ++dupacks_;
   if (in_recovery_) {
     // Window inflation keeps the pipe full while the hole is repaired.
-    set_cwnd(cwnd_ + 1.0);
+    set_cwnd(cwnd() + 1.0);
     return;
   }
   if (dupacks_ == cfg_.dupack_threshold) {
     ++stats_.fast_retransmits;
     cc_on_fast_retransmit();
     obs::emit(sim_, obs::EventKind::kFastRetransmit, flow_,
-              static_cast<double>(snd_una_), cwnd_);
+              static_cast<double>(snd_una()), cwnd());
     in_recovery_ = true;
-    recover_ = snd_next_;
-    send_segment(snd_una_, true);
+    recover_ = snd_next();
+    send_segment(snd_una(), true);
     arm_rto();
   }
 }
@@ -353,25 +370,27 @@ void TcpSender::check_message_completion() {
 void TcpSender::cc_on_every_ack(const AckEvent&) {}
 
 void TcpSender::reno_increase(std::uint64_t newly_acked) {
+  double w = cwnd();
+  const double thresh = ssthresh();
   for (std::uint64_t i = 0; i < newly_acked; ++i) {
-    if (cwnd_ < ssthresh_) {
-      cwnd_ += 1.0;  // slow start
+    if (w < thresh) {
+      w += 1.0;  // slow start
     } else {
-      cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+      w += 1.0 / w;  // congestion avoidance
     }
   }
-  set_cwnd(cwnd_);
+  set_cwnd(w);
 }
 
 void TcpSender::cc_on_new_ack(const AckEvent& ev) { reno_increase(ev.newly_acked); }
 
 void TcpSender::cc_on_fast_retransmit() {
-  ssthresh_ = std::max(static_cast<double>(in_flight()) / 2.0, 2.0);
-  set_cwnd(ssthresh_ + static_cast<double>(cfg_.dupack_threshold));
+  set_ssthresh(std::max(static_cast<double>(in_flight()) / 2.0, 2.0));
+  set_cwnd(ssthresh() + static_cast<double>(cfg_.dupack_threshold));
 }
 
 void TcpSender::cc_on_timeout() {
-  ssthresh_ = std::max(static_cast<double>(in_flight()) / 2.0, 2.0);
+  set_ssthresh(std::max(static_cast<double>(in_flight()) / 2.0, 2.0));
   set_cwnd(cfg_.cwnd_after_rto);
 }
 
@@ -384,8 +403,8 @@ void TcpSender::cc_after_send(const net::Packet&, bool) {}
 double TcpSender::clamp_cwnd(double w) const { return std::max(w, cfg_.min_cwnd); }
 
 void TcpSender::set_cwnd(double w) {
-  cwnd_ = clamp_cwnd(w);
-  if (cwnd_trace_ != nullptr) cwnd_trace_->record(sim_->now(), cwnd_);
+  cwnd_ref() = clamp_cwnd(w);
+  if (cwnd_trace_ != nullptr) cwnd_trace_->record(sim_->now(), cwnd());
 }
 
 }  // namespace trim::tcp

@@ -17,12 +17,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <vector>
 
+#include "mem/flow_hot_state.hpp"
+#include "mem/ring_buffer.hpp"
 #include "net/host.hpp"
 #include "net/packet.hpp"
+#include "sim/inline_callback.hpp"
 #include "sim/simulator.hpp"
 #include "stats/flow_stats.hpp"
 #include "stats/time_series.hpp"
@@ -51,24 +52,32 @@ class TcpSender : public net::Agent {
   // used in the completion callback. Transmission starts immediately
   // (window permitting).
   std::uint64_t write(std::uint64_t bytes);
-  using MessageCallback = std::function<void(std::uint64_t msg_id, sim::SimTime now)>;
+  // InlineFunction (not std::function): apps subscribe with small lambdas
+  // and completion fires on the ACK hot path, so the callback must not
+  // cost a heap allocation per registration or an SBO miss per call.
+  using MessageCallback =
+      sim::InlineFunction<void(std::uint64_t msg_id, sim::SimTime now)>;
   // Multiple listeners are supported (an app and a pacing source may both
   // subscribe); callbacks fire in registration order.
   void add_message_complete_callback(MessageCallback cb) {
     on_message_.push_back(std::move(cb));
   }
 
-  bool idle() const { return snd_una_ == total_segments_; }
+  bool idle() const { return snd_una() == total_segments_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
   std::uint64_t bytes_acked() const { return acked_bytes_; }
 
   // ---- introspection ----
-  double cwnd() const { return cwnd_; }
-  double ssthresh() const { return ssthresh_; }
-  SeqNum snd_una() const { return snd_una_; }
-  SeqNum snd_next() const { return snd_next_; }
-  std::uint64_t in_flight() const { return snd_next_ - snd_una_; }
-  const RttEstimator& rtt() const { return rtt_; }
+  // The per-ACK hot fields live in the shard's mem::FlowHotTable (SoA
+  // columns, slot assigned at construction), not in this object; these
+  // accessors read the columns. See mem/flow_hot_state.hpp.
+  double cwnd() const { return hot_->cwnd(slot_); }
+  double ssthresh() const { return hot_->ssthresh(slot_); }
+  SeqNum snd_una() const { return hot_->snd_una(slot_); }
+  SeqNum snd_next() const { return hot_->snd_next(slot_); }
+  std::uint64_t in_flight() const { return snd_next() - snd_una(); }
+  const RttEstimator& rtt() const { return hot_->rtt(slot_); }
+  mem::FlowHotTable::Slot hot_slot() const { return slot_; }
   net::FlowId flow_id() const { return flow_; }
   const TcpConfig& config() const { return cfg_; }
   stats::FlowStats& stats() { return stats_; }
@@ -124,7 +133,7 @@ class TcpSender : public net::Agent {
   void reno_increase(std::uint64_t newly_acked);
   double clamp_cwnd(double w) const;
   void set_cwnd(double w);
-  void set_ssthresh(double w) { ssthresh_ = w; }
+  void set_ssthresh(double w) { hot_->ssthresh(slot_) = w; }
   sim::Simulator* simulator() const { return sim_; }
   sim::SimTime last_send_time() const { return last_send_time_; }
   bool has_sent() const { return max_seq_sent_ > 0; }
@@ -156,8 +165,11 @@ class TcpSender : public net::Agent {
     std::uint64_t msg_id;       // FlowStats message id for completion
     std::uint32_t tail_bytes;   // payload of last_seg (== mss iff aligned)
   };
-  // Incomplete messages in write order (front = oldest unacked).
-  const std::deque<MessageRecord>& outstanding_messages() const {
+  // Incomplete messages in write order (front = oldest unacked). Ring
+  // buffer, not deque: a persistent connection pushes/pops one record per
+  // message forever, and the ring stops allocating once it reaches the
+  // peak outstanding count.
+  const mem::RingBuffer<MessageRecord>& outstanding_messages() const {
     return messages_;
   }
   // True when `seq` is the first/last segment of an outstanding message.
@@ -188,32 +200,42 @@ class TcpSender : public net::Agent {
   void on_rto();
   std::uint64_t window_segments() const;
 
+  // Mutable references into this flow's hot-table slot. Re-resolved per
+  // call: table growth (another flow being created) may move the columns,
+  // so these must never be cached as raw pointers across construction.
+  double& cwnd_ref() { return hot_->cwnd(slot_); }
+  double& ssthresh_ref() { return hot_->ssthresh(slot_); }
+  SeqNum& snd_una_ref() { return hot_->snd_una(slot_); }
+  SeqNum& snd_next_ref() { return hot_->snd_next(slot_); }
+  RttEstimator& rtt_ref() { return hot_->rtt(slot_); }
+
   net::Host* host_;
   net::NodeId dst_;
   net::FlowId flow_;
   TcpConfig cfg_;
   sim::Simulator* sim_;
 
+  // This shard's hot-state table and our slot in it (acquired in the
+  // constructor, released in the destructor). Holds cwnd / ssthresh /
+  // snd_una / snd_next / the RTT estimator / the RTO deadline.
+  mem::FlowHotTable* hot_ = nullptr;
+  mem::FlowHotTable::Slot slot_ = 0;
+
   SeqNum total_segments_ = 0;
   std::uint64_t bytes_written_ = 0;
   // Compact segment accounting: boundaries of the incomplete messages only.
-  std::deque<MessageRecord> messages_;
+  mem::RingBuffer<MessageRecord> messages_;
 
   bool established_ = true;  // false until SYN-ACK when handshake is on
   bool syn_sent_ = false;
 
-  SeqNum snd_una_ = 0;
-  SeqNum snd_next_ = 0;
-  SeqNum max_seq_sent_ = 0;  // high-water mark of snd_next_
+  SeqNum max_seq_sent_ = 0;  // high-water mark of snd_next
   std::uint64_t acked_bytes_ = 0;
 
-  double cwnd_;
-  double ssthresh_;
   int dupacks_ = 0;
   bool in_recovery_ = false;
   SeqNum recover_ = 0;
 
-  RttEstimator rtt_;
   sim::EventId rto_timer_;
   int rto_backoff_ = 0;
   sim::SimTime last_send_time_;

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/arena.hpp"
+#include "sim/config_error.hpp"
+
+namespace trim::mem {
+namespace {
+
+TEST(Arena, AllocationsAreContiguousInCreationOrder) {
+  Arena a;
+  auto* x = static_cast<std::byte*>(a.allocate(16, 8));
+  auto* y = static_cast<std::byte*>(a.allocate(16, 8));
+  auto* z = static_cast<std::byte*>(a.allocate(16, 8));
+  EXPECT_EQ(y - x, 16);
+  EXPECT_EQ(z - y, 16);
+  EXPECT_EQ(a.bytes_allocated(), 48u);
+  EXPECT_EQ(a.chunk_count(), 1u);
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena a;
+  a.allocate(1, 1);  // misalign the cursor
+  auto* p = a.allocate(64, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  auto* q = a.allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % 8, 0u);
+}
+
+TEST(Arena, GrowsChunksGeometricallyAndStaysPointerStable) {
+  Arena a{1024};
+  std::vector<std::uint64_t*> ptrs;
+  for (int i = 0; i < 1000; ++i) {
+    ptrs.push_back(a.create<std::uint64_t>(static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_GT(a.chunk_count(), 1u);
+  // Every earlier object is still where it was, holding what it held.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(*ptrs[static_cast<std::size_t>(i)], static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(a.object_count(), 1000u);
+}
+
+TEST(Arena, OversizedAllocationGetsItsOwnChunk) {
+  Arena a{1024};
+  void* p = a.allocate(64 * 1024, 8);
+  EXPECT_NE(p, nullptr);
+  EXPECT_GE(a.bytes_reserved(), 64u * 1024u);
+}
+
+TEST(Arena, ReleaseFreesEverything) {
+  Arena a{1024};
+  for (int i = 0; i < 100; ++i) a.allocate(64, 8);
+  a.release();
+  EXPECT_EQ(a.chunk_count(), 0u);
+  EXPECT_EQ(a.bytes_allocated(), 0u);
+  EXPECT_EQ(a.bytes_reserved(), 0u);
+  // Reusable after release.
+  auto* p = a.create<int>(7);
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(Arena, ZeroChunkSizeThrows) {
+  EXPECT_THROW(Arena{0}, ConfigError);
+}
+
+struct Probe {
+  static int live;
+  int v;
+  explicit Probe(int x) : v{x} { ++live; }
+  ~Probe() { --live; }
+};
+int Probe::live = 0;
+
+TEST(ArenaPtr, ArenaBackedRunsDestructorWithoutFreeingStorage) {
+  Arena a;
+  {
+    ArenaPtr<Probe> p = arena_new<Probe>(&a, 42);
+    EXPECT_EQ(Probe::live, 1);
+    EXPECT_EQ(p->v, 42);
+    EXPECT_FALSE(p.get_deleter().heap);
+  }
+  EXPECT_EQ(Probe::live, 0);
+  EXPECT_EQ(a.object_count(), 1u);  // storage still accounted to the arena
+}
+
+TEST(ArenaPtr, NullArenaFallsBackToHeap) {
+  ArenaPtr<Probe> p = arena_new<Probe>(nullptr, 1);
+  EXPECT_TRUE(p.get_deleter().heap);
+  EXPECT_EQ(Probe::live, 1);
+  p.reset();
+  EXPECT_EQ(Probe::live, 0);
+}
+
+struct Base {
+  virtual ~Base() = default;
+};
+struct Derived : Base {
+  explicit Derived(int* flag) : flag_{flag} {}
+  ~Derived() override { *flag_ = 1; }
+  int* flag_;
+};
+
+TEST(ArenaPtr, MakeUniqueConvertsAndUpcasts) {
+  // Existing factories returning std::unique_ptr<Derived> must keep
+  // converting to ArenaPtr<Base> (deleter converts from default_delete).
+  int destroyed = 0;
+  {
+    ArenaPtr<Base> p = std::make_unique<Derived>(&destroyed);
+    EXPECT_TRUE(p.get_deleter().heap);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(ArenaPtr, ArenaUpcastDestroysThroughVirtualDtor) {
+  Arena a;
+  int destroyed = 0;
+  {
+    ArenaPtr<Base> p = arena_new<Derived>(&a, &destroyed);
+    EXPECT_FALSE(p.get_deleter().heap);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+}  // namespace
+}  // namespace trim::mem

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/flow_hot_state.hpp"
+
+namespace trim::mem {
+namespace {
+
+TEST(FlowHotTable, AcquireAssignsSlotsInCreationOrder) {
+  FlowHotTable t;
+  EXPECT_EQ(t.acquire(100), 0u);
+  EXPECT_EQ(t.acquire(101), 1u);
+  EXPECT_EQ(t.acquire(102), 2u);
+  EXPECT_EQ(t.live(), 3u);
+  EXPECT_EQ(t.flow_id(1), 101u);
+}
+
+TEST(FlowHotTable, SlotsStartZeroedWithDisarmedRto) {
+  FlowHotTable t;
+  const auto s = t.acquire(7);
+  EXPECT_EQ(t.cwnd(s), 0.0);
+  EXPECT_EQ(t.ssthresh(s), 0.0);
+  EXPECT_EQ(t.snd_una(s), 0u);
+  EXPECT_EQ(t.snd_next(s), 0u);
+  EXPECT_EQ(t.rto_deadline(s), sim::SimTime::max());
+  EXPECT_EQ(t.rtt(s).samples(), 0u);
+}
+
+TEST(FlowHotTable, ReleaseRecyclesSlotsAndScrubsState) {
+  FlowHotTable t;
+  const auto a = t.acquire(1);
+  t.acquire(2);
+  t.cwnd(a) = 99.0;
+  t.snd_next(a) = 77;
+  t.rto_deadline(a) = sim::SimTime::seconds(1);
+  t.release(a);
+  EXPECT_EQ(t.live(), 1u);
+  // Recycled slot comes back clean.
+  const auto c = t.acquire(3);
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(t.cwnd(c), 0.0);
+  EXPECT_EQ(t.snd_next(c), 0u);
+  EXPECT_EQ(t.rto_deadline(c), sim::SimTime::max());
+  EXPECT_EQ(t.flow_id(c), 3u);
+  EXPECT_EQ(t.capacity(), 2u);  // no growth: the free list served it
+}
+
+TEST(FlowHotTable, ForEachLiveSkipsReleasedAndVisitsInSlotOrder) {
+  FlowHotTable t;
+  const auto a = t.acquire(10);
+  const auto b = t.acquire(11);
+  const auto c = t.acquire(12);
+  t.cwnd(a) = 1.0;
+  t.cwnd(b) = 2.0;
+  t.cwnd(c) = 3.0;
+  t.release(b);
+  std::vector<std::uint32_t> seen;
+  t.for_each_live([&](FlowHotTable::Slot, std::uint32_t flow, const FlowHotState& hs) {
+    seen.push_back(flow);
+    EXPECT_GT(hs.cwnd, 0.0);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 10u);
+  EXPECT_EQ(seen[1], 12u);
+}
+
+TEST(FlowHotTable, MinLiveCwndIsColumnMinimum) {
+  FlowHotTable t;
+  EXPECT_EQ(t.min_live_cwnd(), FlowHotTable::kNoLiveCwnd);
+  const auto a = t.acquire(1);
+  const auto b = t.acquire(2);
+  t.cwnd(a) = 5.0;
+  t.cwnd(b) = 2.5;
+  EXPECT_EQ(t.min_live_cwnd(), 2.5);
+  t.release(b);
+  EXPECT_EQ(t.min_live_cwnd(), 5.0);
+}
+
+TEST(FlowHotTable, StateBytesGrowsWithCapacityNotLiveness) {
+  FlowHotTable t;
+  const auto empty_bytes = t.state_bytes();
+  std::vector<FlowHotTable::Slot> slots;
+  for (std::uint32_t i = 0; i < 100; ++i) slots.push_back(t.acquire(i));
+  const auto full_bytes = t.state_bytes();
+  EXPECT_GT(full_bytes, empty_bytes);
+  for (auto s : slots) t.release(s);
+  EXPECT_EQ(t.live(), 0u);
+  EXPECT_EQ(t.state_bytes(), full_bytes);  // columns keep their capacity
+}
+
+}  // namespace
+}  // namespace trim::mem

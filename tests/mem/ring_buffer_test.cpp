@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "mem/ring_buffer.hpp"
+
+namespace trim::mem {
+namespace {
+
+TEST(RingBuffer, FifoOrderAcrossGrowth) {
+  RingBuffer<int> r;
+  for (int i = 0; i < 100; ++i) r.push_back(i);
+  EXPECT_EQ(r.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(r.front(), i);
+    r.pop_front();
+  }
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(RingBuffer, WrapsWithoutGrowingOnceWarm) {
+  RingBuffer<int> r;
+  r.reserve(16);
+  const std::size_t cap = r.capacity();
+  EXPECT_GE(cap, 16u);
+  // Push/pop far more elements than the capacity: the logical indices wrap
+  // around the slab many times and the slab must never grow.
+  for (int i = 0; i < 1000; ++i) {
+    r.push_back(i);
+    EXPECT_EQ(r.front(), i);
+    r.pop_front();
+  }
+  EXPECT_EQ(r.capacity(), cap);
+}
+
+TEST(RingBuffer, FrontBackIndexConsistentWhileWrapped) {
+  RingBuffer<int> r;
+  r.reserve(16);
+  for (int i = 0; i < 12; ++i) r.push_back(i);     // head at 0, tail at 12
+  for (int i = 0; i < 10; ++i) r.pop_front();      // head at 10
+  for (int i = 12; i < 20; ++i) r.push_back(i);    // tail wraps past 16
+  EXPECT_EQ(r.size(), 10u);
+  EXPECT_EQ(r.front(), 10);
+  EXPECT_EQ(r.back(), 19);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(r[i], 10 + static_cast<int>(i));
+  }
+}
+
+TEST(RingBuffer, GrowRelocatesWrappedContentsInOrder) {
+  RingBuffer<std::string> r;  // non-trivial type: growth must move-construct
+  r.reserve(16);
+  for (int i = 0; i < 12; ++i) r.push_back(std::to_string(i));
+  for (int i = 0; i < 10; ++i) r.pop_front();
+  // Fill past capacity while wrapped so growth linearizes a split ring.
+  for (int i = 12; i < 40; ++i) r.push_back(std::to_string(i));
+  EXPECT_GT(r.capacity(), 16u);
+  EXPECT_EQ(r.size(), 30u);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(r[i], std::to_string(10 + static_cast<int>(i)));
+  }
+}
+
+struct Counted {
+  static int live;
+  Counted() { ++live; }
+  Counted(Counted&&) noexcept { ++live; }
+  ~Counted() { --live; }
+};
+int Counted::live = 0;
+
+TEST(RingBuffer, DestroysLiveElementsExactlyOnce) {
+  Counted::live = 0;
+  {
+    RingBuffer<Counted> r;
+    for (int i = 0; i < 40; ++i) r.push_back(Counted{});
+    for (int i = 0; i < 15; ++i) r.pop_front();
+    EXPECT_EQ(Counted::live, 25);
+    r.clear();
+    EXPECT_EQ(Counted::live, 0);
+    for (int i = 0; i < 5; ++i) r.push_back(Counted{});
+  }  // dtor destroys the rest
+  EXPECT_EQ(Counted::live, 0);
+}
+
+TEST(RingBuffer, MoveTransfersOwnership) {
+  RingBuffer<int> a;
+  for (int i = 0; i < 5; ++i) a.push_back(i);
+  RingBuffer<int> b{std::move(a)};
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.front(), 0);
+  a = std::move(b);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.back(), 4);
+}
+
+TEST(RingBuffer, CapacityIsPowerOfTwo) {
+  RingBuffer<int> r;
+  r.reserve(100);
+  EXPECT_EQ(r.capacity() & (r.capacity() - 1), 0u);
+  EXPECT_GE(r.capacity(), 100u);
+}
+
+}  // namespace
+}  // namespace trim::mem
