@@ -26,6 +26,10 @@ namespace {
 struct FaultProfile {
   std::string name;
   fault::FaultConfig cfg;
+  // Churn profiles run every message on a fresh connection (full
+  // SYN/FIN lifecycle through a small shared listen backlog) instead of
+  // one persistent flow per server.
+  bool churn = false;
 };
 
 // The fault matrix: a clean baseline plus the four adverse profiles the
@@ -72,6 +76,22 @@ std::vector<FaultProfile> fault_matrix() {
     f.jitter_max = sim::SimTime::micros(200);
     profiles.push_back({"jitter", f});
   }
+  // Connection churn: the short-connection regime, clean and with
+  // control-packet loss hammering the handshakes themselves.
+  {
+    FaultProfile p;
+    p.name = "churn";
+    p.churn = true;
+    profiles.push_back(p);
+  }
+  {
+    FaultProfile p;
+    p.name = "churn_ctrl_loss";
+    p.churn = true;
+    p.cfg.seed = 66;
+    p.cfg.ctrl_loss_probability = 0.1;  // SYN/FIN/RST only
+    profiles.push_back(p);
+  }
   return profiles;
 }
 
@@ -96,6 +116,16 @@ int main() {
       cfg.protocol = protocol;
       cfg.seed = exp::run_seed(0xFA17, static_cast<int>(cfgs.size()));
       cfg.bottleneck_fault = profile.cfg;
+      if (profile.churn) {
+        cfg.churn = true;
+        cfg.churn_backlog.depth = 4;  // small enough to overflow under churn
+        // Short TIME_WAIT and a bounded backoff so the serial
+        // per-message cadence fits the run window.
+        cfg.lifecycle.time_wait = sim::SimTime::millis(10);
+        cfg.min_rto = sim::SimTime::millis(50);
+        cfg.lifecycle.retx_rto_initial = sim::SimTime::millis(50);
+        cfg.lifecycle.retx_rto_max = sim::SimTime::millis(400);
+      }
       if (exp::quick_mode()) {
         cfg.messages_per_server = 8;
         cfg.run_until = sim::SimTime::seconds(1.5);
@@ -170,7 +200,18 @@ int main() {
                 {"ev_probe_enter",
                  static_cast<double>(ev[obs::EventKind::kTrimProbeEnter])},
                 {"ev_queue_drop_episodes",
-                 static_cast<double>(ev[obs::EventKind::kQueueDropEpisodeStart])}});
+                 static_cast<double>(ev[obs::EventKind::kQueueDropEpisodeStart])},
+                // Lifecycle counts — nonzero only on the churn profiles.
+                {"ev_syn_retx", static_cast<double>(ev[obs::EventKind::kSynRetx])},
+                {"ev_backlog_drop",
+                 static_cast<double>(ev[obs::EventKind::kBacklogDrop])},
+                {"ev_rst", static_cast<double>(ev[obs::EventKind::kRstSent])},
+                {"connections_opened",
+                 static_cast<double>(r.connections_opened)},
+                {"graceful_closes", static_cast<double>(r.graceful_closes)},
+                {"aborted_closes", static_cast<double>(r.aborted_closes)},
+                {"backlog_overflow_drops",
+                 static_cast<double>(r.churn_backlog.overflow_drops)}});
       report.add_row(
           profile.name + "/" + tcp::to_string(protocol),
           {{"goodput_mbps", r.goodput_mbps},

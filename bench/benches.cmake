@@ -42,3 +42,4 @@ trim_bench(bench_model_validation)
 trim_bench(bench_persistent_connections)
 trim_bench(bench_incast_collapse)
 trim_bench(bench_resilience)
+trim_bench(bench_conn_storm)

@@ -42,11 +42,14 @@ mem::ArenaPtr<tcp::TcpSender> make_sender(tcp::Protocol protocol, net::Host* src
 }
 
 tcp::Flow make_protocol_flow(net::Network& network, net::Host& src, net::Host& dst,
-                             tcp::Protocol protocol, const ProtocolOptions& opts) {
-  return tcp::make_flow(network, src, dst,
-                        [&](net::Host* s, net::NodeId d, net::FlowId f) {
-                          return make_sender(protocol, s, d, f, opts);
-                        });
+                             tcp::Protocol protocol, const ProtocolOptions& opts,
+                             tcp::ReceiverConfig receiver_cfg) {
+  return tcp::make_flow(
+      network, src, dst,
+      [&](net::Host* s, net::NodeId d, net::FlowId f) {
+        return make_sender(protocol, s, d, f, opts);
+      },
+      receiver_cfg);
 }
 
 }  // namespace trim::core

@@ -139,8 +139,21 @@ class InvariantScope {
   void watch(tcp::TcpSender& sender) {
     if (checker_) checker_->watch(sender);
   }
+  void watch(tcp::TcpReceiver& receiver) {
+    if (checker_) checker_->watch(receiver);
+  }
+  void watch(tcp::ListenQueue& queue) {
+    if (checker_) checker_->watch(queue);
+  }
   void watch(fault::FaultInjector& injector) {
     if (checker_) checker_->watch(injector);
+  }
+  // Churn scenarios destroy endpoints mid-run; they must unwatch first.
+  void unwatch(tcp::TcpSender& sender) {
+    if (checker_) checker_->unwatch(sender);
+  }
+  void unwatch(tcp::TcpReceiver& receiver) {
+    if (checker_) checker_->unwatch(receiver);
   }
 
   // Final checkpoint + report. Returns the violation count (0 when

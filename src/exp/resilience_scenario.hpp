@@ -19,6 +19,8 @@
 #include "obs/run_report.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/invariant_checker.hpp"
+#include "tcp/lifecycle.hpp"
+#include "tcp/listen_queue.hpp"
 #include "tcp/tcp_common.hpp"
 
 namespace trim::exp {
@@ -42,6 +44,18 @@ struct ResilienceConfig {
   fault::FaultConfig bottleneck_fault;
   // Optional faults on the front-end's ACK return path.
   fault::FaultConfig ack_path_fault;
+
+  // Connection churn: every message rides its own fresh connection — full
+  // SYN handshake through the front end's shared listen backlog, FIN
+  // teardown, endpoints destroyed once CLOSED — instead of one long-lived
+  // flow per server. This is the short-connection regime of the paper's
+  // highly concurrent HTTP workload, and it turns the resilience matrix
+  // into a lifecycle soak test: faults now hit SYNs and FINs, not just
+  // data. An aborted connection forfeits its message (messages_completed
+  // counts graceful closes only).
+  bool churn = false;
+  tcp::ListenQueueConfig churn_backlog;  // shared by the front end
+  tcp::LifecycleConfig lifecycle;       // both endpoints of every connection
 };
 
 // Throws trim::ConfigError (with what/where/valid-range) on a malformed
@@ -56,6 +70,14 @@ struct ResilienceResult {
   std::uint64_t messages_completed = 0;
   std::uint64_t messages_total = 0;
   bool all_completed = false;
+  // Churn-mode lifecycle totals (zeros when churn is off).
+  std::uint64_t connections_opened = 0;
+  std::uint64_t graceful_closes = 0;
+  std::uint64_t aborted_closes = 0;
+  std::uint64_t syn_retx = 0;
+  std::uint64_t fin_retx = 0;
+  std::uint64_t rst_sent = 0;
+  tcp::ListenQueue::Stats churn_backlog;
   std::uint64_t queue_drops = 0;
   fault::FaultStats bottleneck_faults;
   fault::FaultStats ack_faults;

@@ -15,6 +15,7 @@ namespace {
 // Per-fault-class stream tags. Streams are forked as mix(seed ^ tag) so a
 // profile's seed fully determines every stream, independently.
 constexpr std::uint64_t kLossTag = 0x10551055'10551055ull;
+constexpr std::uint64_t kCtrlLossTag = 0x5f5c741f'5f5c741full;
 constexpr std::uint64_t kGilbertTag = 0x6e6b6572'67696c62ull;
 constexpr std::uint64_t kCorruptTag = 0xc0441291'c0441291ull;
 constexpr std::uint64_t kDuplicateTag = 0xd0bb1ed0'bb1ed0bbull;
@@ -36,6 +37,7 @@ void check_probability(double p, const char* name) {
 
 void validate(const FaultConfig& cfg) {
   check_probability(cfg.loss_probability, "loss_probability");
+  check_probability(cfg.ctrl_loss_probability, "ctrl_loss_probability");
   check_probability(cfg.gilbert.p_good_to_bad, "gilbert.p_good_to_bad");
   check_probability(cfg.gilbert.p_bad_to_good, "gilbert.p_bad_to_good");
   check_probability(cfg.gilbert.loss_good, "gilbert.loss_good");
@@ -74,6 +76,7 @@ FaultInjector::FaultInjector(sim::Simulator* sim, FaultConfig cfg)
     : sim_{sim},
       cfg_{std::move(cfg)},
       loss_rng_{stream_seed(cfg_.seed, kLossTag)},
+      ctrl_loss_rng_{stream_seed(cfg_.seed, kCtrlLossTag)},
       gilbert_rng_{stream_seed(cfg_.seed, kGilbertTag)},
       corrupt_rng_{stream_seed(cfg_.seed, kCorruptTag)},
       duplicate_rng_{stream_seed(cfg_.seed, kDuplicateTag)},
@@ -128,6 +131,13 @@ bool FaultInjector::offer(const net::Packet& p) {
       loss_rng_.uniform01() < cfg_.loss_probability) {
     ++stats_.random_losses;
     obs::emit(sim_, obs::EventKind::kFaultLoss, subject_, /*a=*/1.0,
+              static_cast<double>(p.flow));
+    return false;
+  }
+  if (cfg_.ctrl_loss_probability > 0.0 && (p.syn || p.fin || p.rst) &&
+      ctrl_loss_rng_.uniform01() < cfg_.ctrl_loss_probability) {
+    ++stats_.ctrl_losses;
+    obs::emit(sim_, obs::EventKind::kFaultLoss, subject_, /*a=*/3.0,
               static_cast<double>(p.flow));
     return false;
   }

@@ -66,6 +66,11 @@ struct FaultConfig {
 
   std::vector<FlapSchedule> flaps;       // sorted, non-overlapping
   double loss_probability = 0.0;         // Bernoulli, per offered packet
+  // Bernoulli loss applied only to lifecycle control packets (SYN, FIN,
+  // RST). Lets handshake/teardown experiments stress retransmission and
+  // backoff without disturbing the data path; drawn from its own stream,
+  // so data-loss decisions are unchanged when this is enabled.
+  double ctrl_loss_probability = 0.0;
   GilbertElliottConfig gilbert;
   double corrupt_probability = 0.0;      // per delivered packet
   double duplicate_probability = 0.0;    // per delivered packet
@@ -80,7 +85,8 @@ struct FaultConfig {
   sim::SimTime active_until = sim::SimTime::max();
 
   bool any_enabled() const {
-    return !flaps.empty() || loss_probability > 0.0 || gilbert.enabled() ||
+    return !flaps.empty() || loss_probability > 0.0 ||
+           ctrl_loss_probability > 0.0 || gilbert.enabled() ||
            corrupt_probability > 0.0 || duplicate_probability > 0.0 ||
            reorder_probability > 0.0 || jitter_max > sim::SimTime::zero() ||
            added_delay > sim::SimTime::zero();
@@ -95,6 +101,7 @@ void validate(const FaultConfig& cfg);
 
 struct FaultStats {
   std::uint64_t random_losses = 0;    // Bernoulli + Gilbert-Elliott drops
+  std::uint64_t ctrl_losses = 0;      // SYN/FIN/RST dropped by ctrl_loss_probability
   std::uint64_t link_down_drops = 0;  // offered while a flap held the link down
   std::uint64_t corrupted = 0;        // marked; dropped (and counted) at the host
   std::uint64_t duplicated = 0;
@@ -104,7 +111,9 @@ struct FaultStats {
   // Packets this injector removed *before* the egress queue. Corrupted
   // packets are not included: they still traverse the link and are
   // dropped — and separately counted — at the receiving host.
-  std::uint64_t injected_drops() const { return random_losses + link_down_drops; }
+  std::uint64_t injected_drops() const {
+    return random_losses + ctrl_losses + link_down_drops;
+  }
 };
 
 class FaultInjector {
@@ -153,6 +162,7 @@ class FaultInjector {
 
   // One independent stream per fault class (see file comment).
   sim::Rng loss_rng_;
+  sim::Rng ctrl_loss_rng_;
   sim::Rng gilbert_rng_;
   sim::Rng corrupt_rng_;
   sim::Rng duplicate_rng_;

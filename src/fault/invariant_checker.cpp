@@ -2,13 +2,17 @@
 
 #include <string>
 
+#include <algorithm>
+
 #include "fault/fault_injector.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
 #include "net/network.hpp"
 #include "net/switch.hpp"
 #include "sim/config_error.hpp"
+#include "tcp/listen_queue.hpp"
 #include "tcp/tcp_common.hpp"
+#include "tcp/tcp_receiver.hpp"
 #include "tcp/tcp_sender.hpp"
 
 namespace trim::fault {
@@ -20,8 +24,45 @@ InvariantChecker::InvariantChecker(sim::Simulator* sim, net::Network* network)
   }
 }
 
+namespace {
+
+template <typename T>
+void swap_remove(std::vector<T*>& v, T* x) {
+  const auto it = std::find(v.begin(), v.end(), x);
+  if (it == v.end()) return;
+  *it = v.back();
+  v.pop_back();
+}
+
+// True for the states whose only way forward is a peer response: without
+// an armed retransmission timer the connection is wedged if that response
+// was lost.
+bool needs_retx_timer(tcp::ConnState s) {
+  return s == tcp::ConnState::kSynSent || s == tcp::ConnState::kSynRcvd ||
+         s == tcp::ConnState::kFinWait1 || s == tcp::ConnState::kClosing ||
+         s == tcp::ConnState::kLastAck;
+}
+
+}  // namespace
+
 void InvariantChecker::watch(tcp::TcpSender& sender) {
   senders_.push_back(&sender);
+}
+
+void InvariantChecker::unwatch(tcp::TcpSender& sender) {
+  swap_remove(senders_, &sender);
+}
+
+void InvariantChecker::watch(tcp::TcpReceiver& receiver) {
+  receivers_.push_back(&receiver);
+}
+
+void InvariantChecker::unwatch(tcp::TcpReceiver& receiver) {
+  swap_remove(receivers_, &receiver);
+}
+
+void InvariantChecker::watch(tcp::ListenQueue& queue) {
+  listen_queues_.push_back(&queue);
 }
 
 void InvariantChecker::watch(FaultInjector& injector) {
@@ -41,6 +82,8 @@ void InvariantChecker::check_now() {
   ++checkpoints_;
   check_conservation();
   check_senders();
+  check_receivers();
+  check_listen_queues();
   for (const auto& c : custom_) {
     if (auto detail = c.fn()) report(c.name, *detail);
   }
@@ -130,6 +173,53 @@ void InvariantChecker::check_senders() {
         !s->retransmit_timer_armed()) {
       report("probe-state",
              who + ": transmission suspended with no probe timer and no RTO");
+    }
+    if (s->config().simulate_handshake) {
+      const auto st = s->conn_state();
+      if (needs_retx_timer(st) && !s->retransmit_timer_armed()) {
+        report("lifecycle-liveness",
+               who + ": state " + tcp::to_string(st) + " with no RTO armed");
+      }
+      if (st == tcp::ConnState::kTimeWait && !s->time_wait_timer_armed()) {
+        report("lifecycle-liveness",
+               who + ": TIME_WAIT with no dwell timer armed");
+      }
+    }
+  }
+}
+
+void InvariantChecker::check_receivers() {
+  for (const auto* r : receivers_) {
+    const std::string who = "receiver flow " + std::to_string(r->flow_id());
+    if (r->data_before_established() > 0) {
+      report("data-before-established",
+             who + ": " + std::to_string(r->data_before_established()) +
+                 " data segment(s) arrived with no connection open");
+    }
+    if (!r->lifecycle_active()) continue;
+    const auto st = r->conn_state();
+    if (needs_retx_timer(st) && !r->retx_timer_armed()) {
+      report("lifecycle-liveness",
+             who + ": state " + tcp::to_string(st) +
+                 " with no control retransmission timer armed");
+    }
+    if (st == tcp::ConnState::kTimeWait && !r->time_wait_timer_armed()) {
+      report("lifecycle-liveness", who + ": TIME_WAIT with no dwell timer armed");
+    }
+  }
+}
+
+void InvariantChecker::check_listen_queues() {
+  for (const auto* q : listen_queues_) {
+    if (q->occupancy() > q->depth()) {
+      report("backlog-bounds",
+             "listen queue: occupancy=" + std::to_string(q->occupancy()) +
+                 " > depth=" + std::to_string(q->depth()));
+    }
+    if (q->stats().peak_occupancy > q->depth()) {
+      report("backlog-bounds",
+             "listen queue: peak=" + std::to_string(q->stats().peak_occupancy) +
+                 " > depth=" + std::to_string(q->depth()));
     }
   }
 }

@@ -17,7 +17,15 @@
 //     congestion-control wakeup (TRIM's probe timer). Without one the flow
 //     is wedged forever;
 //   * probe-state sanity — a TRIM sender that suspended transmission
-//     (probing) must have a pending wakeup or an armed RTO as backstop.
+//     (probing) must have a pending wakeup or an armed RTO as backstop;
+//   * lifecycle liveness — an endpoint in a state that waits on the peer
+//     (SYN_SENT, SYN_RCVD, FIN_WAIT_1, CLOSING, LAST_ACK) must have a
+//     retransmission timer armed, and TIME_WAIT must hold its dwell timer,
+//     or the connection can never finish closing;
+//   * no data before ESTABLISHED — a watched receiver must never have
+//     accepted a data segment while no connection was open;
+//   * backlog bounds — a watched listen queue's occupancy (and recorded
+//     peak) stays within [0, depth].
 //
 // Checks run at explicit checkpoints: call check_now() wherever you like,
 // or schedule_checkpoints() to sample on a fixed grid during the run.
@@ -42,6 +50,8 @@ namespace trim::net {
 class Network;
 }
 namespace trim::tcp {
+class ListenQueue;
+class TcpReceiver;
 class TcpSender;
 }
 
@@ -62,9 +72,21 @@ class InvariantChecker {
   InvariantChecker(const InvariantChecker&) = delete;
   InvariantChecker& operator=(const InvariantChecker&) = delete;
 
-  // Senders get the cwnd / liveness / probe checks. Lifetime: watched
-  // objects must outlive the checker (or call forget_senders()).
+  // Senders get the cwnd / liveness / probe checks plus — when the
+  // lifecycle is on — the state-machine checks (a state that is waiting on
+  // the peer must have a timer armed; TIME_WAIT must hold its dwell
+  // timer). Lifetime: watched objects must outlive the checker, or be
+  // unwatch()ed before destruction (churn scenarios destroy endpoints
+  // mid-run).
   void watch(tcp::TcpSender& sender);
+  void unwatch(tcp::TcpSender& sender);
+  // Receivers get the passive-side lifecycle checks, plus the hard
+  // no-data-before-ESTABLISHED invariant.
+  void watch(tcp::TcpReceiver& receiver);
+  void unwatch(tcp::TcpReceiver& receiver);
+  // Listen queues get the occupancy bound: 0 <= occupancy <= depth, and
+  // the same for the recorded peak.
+  void watch(tcp::ListenQueue& queue);
   // Injectors feed the conservation equation (their drops and duplicates
   // are legitimate packet sources/sinks). An attached-but-unwatched
   // injector will be reported as a conservation leak — by design.
@@ -93,10 +115,14 @@ class InvariantChecker {
  private:
   void check_conservation();
   void check_senders();
+  void check_receivers();
+  void check_listen_queues();
 
   sim::Simulator* sim_;
   net::Network* network_;
   std::vector<tcp::TcpSender*> senders_;
+  std::vector<tcp::TcpReceiver*> receivers_;
+  std::vector<tcp::ListenQueue*> listen_queues_;
   std::vector<FaultInjector*> injectors_;
   struct NamedCheck {
     std::string name;

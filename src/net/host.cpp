@@ -74,6 +74,12 @@ void Host::receive(Packet p) {
   }
   if (agent == nullptr) {
     ++unroutable_;
+    if (default_agent_ != nullptr) {
+      // Still unroutable for conservation purposes — the default agent
+      // (e.g. tcp::RstResponder) only decides how the host answers.
+      default_agent_->on_packet(p);
+      return;
+    }
     TRIM_LOG(sim::LogLevel::kDebug, sim_, "host %s: no agent for %s", name_.c_str(),
              p.describe().c_str());
     return;

@@ -23,6 +23,13 @@ class Host : public Node {
   void register_agent(FlowId flow, Agent* agent);
   void unregister_agent(FlowId flow);
 
+  // Fallback for packets whose flow has no registered agent — the
+  // lifecycle scenarios attach a tcp::RstResponder here so segments for
+  // torn-down connections draw a RST (as a real closed port would)
+  // instead of vanishing into the unroutable counter. Packets handed to
+  // the default agent still count as unroutable for conservation.
+  void set_default_agent(Agent* agent) { default_agent_ = agent; }
+
   // Transmit through the uplink (all topologies in the paper are
   // single-homed at the edge). Stamps the source node id.
   void send(Packet p);
@@ -44,6 +51,7 @@ class Host : public Node {
   // array and the receive hot path is one bounds check plus one indexed
   // load — no hashing per packet.
   std::vector<Agent*> agents_;
+  Agent* default_agent_ = nullptr;
   FlowId flow_base_ = 0;
   std::size_t agent_count_ = 0;
   std::uint64_t unroutable_ = 0;

@@ -1,11 +1,12 @@
 #include "net/packet.hpp"
 
 #include <cstdio>
+#include <cstring>
 
 namespace trim::net {
 
 std::string Packet::describe() const {
-  char buf[160];
+  char buf[176];
   if (is_ack) {
     std::snprintf(buf, sizeof buf,
                   "ACK uid=%llu flow=%u %u->%u ack=%llu of=%llu ece=%d",
@@ -19,6 +20,10 @@ std::string Packet::describe() const {
                   static_cast<unsigned long long>(seq), payload_bytes,
                   static_cast<int>(ecn));
   }
+  // Lifecycle flags appear only when set so the common case stays terse.
+  if (syn) std::strncat(buf, " SYN", sizeof buf - std::strlen(buf) - 1);
+  if (fin) std::strncat(buf, " FIN", sizeof buf - std::strlen(buf) - 1);
+  if (rst) std::strncat(buf, " RST", sizeof buf - std::strlen(buf) - 1);
   return buf;
 }
 

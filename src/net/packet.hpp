@@ -37,10 +37,13 @@ struct Packet {
   FlowId flow = kInvalidFlow;
 
   bool is_ack = false;
-  // Connection setup (only when handshake simulation is on): a SYN data
-  // packet or a SYN-ACK reply. SYNs live outside the segment sequence
-  // space (documented simplification).
+  // Connection-lifecycle flags (only when lifecycle simulation is on).
+  // SYN and FIN occupy one slot of the segment sequence space each, so
+  // the byte/segment-conservation invariants hold across setup and
+  // teardown; RST aborts a connection and carries no sequence number.
   bool syn = false;
+  bool fin = false;
+  bool rst = false;
 
   // Data packet: index of the carried segment.
   // ACK packet: cumulative ack = next expected segment index.

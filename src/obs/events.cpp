@@ -30,6 +30,16 @@ const char* to_string(EventKind kind) {
     case EventKind::kLinkEnqueued: return "link.enqueued";
     case EventKind::kLinkDropped: return "link.dropped";
     case EventKind::kLinkDelivered: return "link.delivered";
+    case EventKind::kConnSynSent: return "conn.syn_sent";
+    case EventKind::kConnEstablished: return "conn.established";
+    case EventKind::kConnStateChange: return "conn.state_change";
+    case EventKind::kConnClosed: return "conn.closed";
+    case EventKind::kSynRetx: return "conn.syn_retx";
+    case EventKind::kFinRetx: return "conn.fin_retx";
+    case EventKind::kRstSent: return "conn.rst_sent";
+    case EventKind::kChallengeAck: return "conn.challenge_ack";
+    case EventKind::kBacklogDrop: return "conn.backlog_drop";
+    case EventKind::kPortExhausted: return "conn.port_exhausted";
   }
   return "?";
 }

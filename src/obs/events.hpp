@@ -42,7 +42,7 @@ enum class EventKind : std::uint8_t {
   kQueueDropEpisodeEnd,   // a = drops in the episode, b = episode seconds
 
   // Fault injection (fault/fault_injector.cpp).
-  kFaultLoss,          // a = 1 Bernoulli / 2 Gilbert-Elliott, b = flow id
+  kFaultLoss,          // a = 1 Bernoulli / 2 Gilbert-Elliott / 3 ctrl (SYN/FIN/RST), b = flow id
   kFaultLinkDown,      // scheduled flap start
   kFaultLinkUp,        // a = offered packets dropped while down
   kFaultCorrupt,       // a = flow id, b = seq
@@ -53,10 +53,24 @@ enum class EventKind : std::uint8_t {
   kLinkEnqueued,       // a = seq, b = payload bytes; subject = flow id
   kLinkDropped,
   kLinkDelivered,
+
+  // Connection lifecycle (tcp/tcp_sender.cpp, tcp/tcp_receiver.cpp).
+  // Appended after the original vocabulary so recorded streams from older
+  // runs keep their kind encoding.
+  kConnSynSent,        // a = 0 active / 1 passive (SYN-ACK)
+  kConnEstablished,    // a = setup latency seconds, b = SYN retransmissions
+  kConnStateChange,    // a = new ConnState, b = old ConnState (enum values)
+  kConnClosed,         // a = 1 graceful / 0 aborted, b = final ConnState
+  kSynRetx,            // a = backoff exponent, b = retries so far
+  kFinRetx,            // a = backoff exponent, b = retries so far
+  kRstSent,            // a = ConnState when sent
+  kChallengeAck,       // SYN into an established connection, acked not reset
+  kBacklogDrop,        // a = occupancy, b = 1 RST policy / 0 drop policy
+  kPortExhausted,      // a = ports held in TIME_WAIT; subject = host name id
 };
 
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kLinkDelivered) + 1;
+    static_cast<std::size_t>(EventKind::kPortExhausted) + 1;
 
 // Stable dotted name, e.g. "trim.probe_enter" — the `kind` field of the
 // JSONL schema and the key used in run-report event counts.

@@ -8,7 +8,7 @@
 namespace trim::tcp {
 
 Flow make_flow(net::Network& network, net::Host& src, net::Host& dst,
-               const SenderFactory& factory) {
+               const SenderFactory& factory, ReceiverConfig receiver_cfg) {
   if (!factory) {
     throw ConfigError{"null sender factory", "make_flow"};
   }
@@ -19,7 +19,8 @@ Flow make_flow(net::Network& network, net::Host& src, net::Host& dst,
   // protocol factories use the source shard's arena.
   mem::Arena* arena = nullptr;
   if (mem::SimMemory* m = mem::memory_of(dst.simulator())) arena = &m->arena;
-  flow.receiver = mem::arena_new<TcpReceiver>(arena, &dst, flow.id, src.id());
+  flow.receiver =
+      mem::arena_new<TcpReceiver>(arena, &dst, flow.id, src.id(), receiver_cfg);
   flow.sender = factory(&src, dst.id(), flow.id);
   return flow;
 }

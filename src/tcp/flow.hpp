@@ -31,8 +31,10 @@ using SenderFactory = sim::InlineFunction<mem::ArenaPtr<TcpSender>(
     net::Host* src, net::NodeId dst, net::FlowId flow)>;
 
 // Allocates a flow id from `network`, constructs the receiver on `dst` and
-// the sender (via `factory`) on `src`.
+// the sender (via `factory`) on `src`. `receiver_cfg` configures the
+// passive side (delayed ACKs, lifecycle) — the default is the legacy
+// pre-established receiver.
 Flow make_flow(net::Network& network, net::Host& src, net::Host& dst,
-               const SenderFactory& factory);
+               const SenderFactory& factory, ReceiverConfig receiver_cfg = {});
 
 }  // namespace trim::tcp

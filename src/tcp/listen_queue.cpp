@@ -1,0 +1,49 @@
+#include "tcp/listen_queue.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/config_error.hpp"
+
+namespace trim::tcp {
+
+void validate(const ListenQueueConfig& cfg) {
+  if (cfg.depth < 1) {
+    throw ConfigError{"listen backlog too small", "ListenQueueConfig::depth",
+                      ">= 1"};
+  }
+}
+
+ListenQueue::ListenQueue(ListenQueueConfig cfg) : cfg_{cfg} {
+  validate(cfg_);
+}
+
+bool ListenQueue::holds(net::FlowId flow) const {
+  return std::find(pending_.begin(), pending_.end(), flow) != pending_.end();
+}
+
+ListenQueue::Verdict ListenQueue::on_syn(net::FlowId flow) {
+  if (holds(flow)) return Verdict::kAccept;  // retransmitted SYN, same slot
+  ++stats_.syn_seen;
+  if (occupancy() >= cfg_.depth) {
+    if (cfg_.overflow == ListenQueueConfig::OverflowPolicy::kRst) {
+      ++stats_.overflow_rsts;
+      return Verdict::kRst;
+    }
+    ++stats_.overflow_drops;
+    return Verdict::kDrop;
+  }
+  pending_.push_back(flow);
+  ++stats_.accepted;
+  stats_.peak_occupancy = std::max(stats_.peak_occupancy, occupancy());
+  return Verdict::kAccept;
+}
+
+void ListenQueue::on_established(net::FlowId flow) {
+  const auto it = std::find(pending_.begin(), pending_.end(), flow);
+  if (it != pending_.end()) pending_.erase(it);
+}
+
+void ListenQueue::on_aborted(net::FlowId flow) { on_established(flow); }
+
+}  // namespace trim::tcp

@@ -1,0 +1,71 @@
+// Per-server listen backlog (the SYN queue): bounds how many connections
+// may sit in SYN_RCVD at once, which is exactly what melts down first in a
+// connection storm. Every passive endpoint (TcpReceiver) on a server host
+// shares one ListenQueue; a fresh SYN claims a slot, and the slot is freed
+// when the connection reaches ESTABLISHED or is aborted.
+//
+// Overflow is graceful degradation, never a crash: with the kDrop policy
+// an over-budget SYN is silently ignored (the client retransmits and may
+// get in later — classic Linux `tcp_abort_on_overflow=0`); with kRst the
+// server answers RST and the client fails fast (`tcp_abort_on_overflow=1`).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace trim::tcp {
+
+struct ListenQueueConfig {
+  int depth = 64;  // max simultaneous SYN_RCVD connections (>= 1)
+  enum class OverflowPolicy : std::uint8_t {
+    kDrop,  // ignore the SYN; the client's retransmission retries the queue
+    kRst,   // refuse immediately with a RST
+  };
+  OverflowPolicy overflow = OverflowPolicy::kDrop;
+};
+
+// Throws trim::ConfigError on depth < 1.
+void validate(const ListenQueueConfig& cfg);
+
+class ListenQueue {
+ public:
+  // Validates `cfg` (throws trim::ConfigError).
+  explicit ListenQueue(ListenQueueConfig cfg);
+
+  enum class Verdict : std::uint8_t { kAccept, kDrop, kRst };
+
+  // A SYN for `flow` arrived at a listening endpoint. A retransmitted SYN
+  // of a connection already holding a slot is accepted without a second
+  // slot; a fresh SYN claims a slot or hits the overflow policy.
+  Verdict on_syn(net::FlowId flow);
+
+  // The connection left SYN_RCVD: its slot (if any) is released.
+  void on_established(net::FlowId flow);
+  void on_aborted(net::FlowId flow);
+
+  int occupancy() const { return static_cast<int>(pending_.size()); }
+  int depth() const { return cfg_.depth; }
+  const ListenQueueConfig& config() const { return cfg_; }
+
+  struct Stats {
+    std::uint64_t syn_seen = 0;        // fresh SYNs offered (retx excluded)
+    std::uint64_t accepted = 0;
+    std::uint64_t overflow_drops = 0;
+    std::uint64_t overflow_rsts = 0;
+    int peak_occupancy = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool holds(net::FlowId flow) const;
+
+  ListenQueueConfig cfg_;
+  // Flows currently in SYN_RCVD. Linear scan: the depth is the backlog
+  // bound, which is small by construction (tens, not thousands).
+  std::vector<net::FlowId> pending_;
+  Stats stats_;
+};
+
+}  // namespace trim::tcp

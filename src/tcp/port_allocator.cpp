@@ -1,0 +1,74 @@
+#include "tcp/port_allocator.hpp"
+
+#include <algorithm>
+
+#include "sim/config_error.hpp"
+#include "sim/simulator.hpp"
+
+namespace trim::tcp {
+
+void validate(const PortAllocatorConfig& cfg) {
+  if (cfg.port_lo < 1 || cfg.port_hi > 65535) {
+    throw ConfigError{"port outside the TCP port space",
+                      "PortAllocatorConfig::port_lo/port_hi", "[1, 65535]"};
+  }
+  if (cfg.port_lo > cfg.port_hi) {
+    throw ConfigError{"empty port range", "PortAllocatorConfig::port_lo/port_hi",
+                      "port_lo <= port_hi"};
+  }
+}
+
+PortAllocator::PortAllocator(sim::Simulator* sim, PortAllocatorConfig cfg)
+    : sim_{sim}, cfg_{cfg} {
+  if (sim_ == nullptr) throw ConfigError{"null simulator", "PortAllocator"};
+  validate(cfg_);
+  // Stack ordered so the lowest port comes out first.
+  free_.reserve(static_cast<std::size_t>(ports_total()));
+  for (int p = cfg_.port_hi; p >= cfg_.port_lo; --p) free_.push_back(p);
+}
+
+void PortAllocator::reclaim_expired() {
+  const auto now = sim_->now();
+  for (std::size_t i = 0; i < held_.size();) {
+    if (held_[i].until <= now) {
+      free_.push_back(held_[i].port);
+      ++stats_.timewait_reclaims;
+      held_[i] = held_.back();
+      held_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::optional<int> PortAllocator::allocate() {
+  if (free_.empty()) reclaim_expired();
+  if (free_.empty()) {
+    ++stats_.failed_allocations;
+    if (!last_failed_) ++stats_.exhaustion_episodes;
+    last_failed_ = true;
+    return std::nullopt;
+  }
+  const int port = free_.back();
+  free_.pop_back();
+  ++in_use_;
+  ++stats_.allocations;
+  last_failed_ = false;
+  return port;
+}
+
+void PortAllocator::release(int port) {
+  --in_use_;
+  free_.push_back(port);
+}
+
+void PortAllocator::release_with_hold(int port, sim::SimTime hold) {
+  --in_use_;
+  if (hold <= sim::SimTime::zero()) {
+    free_.push_back(port);
+    return;
+  }
+  held_.push_back({sim_->now() + hold, port});
+}
+
+}  // namespace trim::tcp

@@ -1,0 +1,78 @@
+// Client-side ephemeral-port allocator with a TIME_WAIT reuse guard.
+//
+// Each client host owns one allocator over a configurable port range. A
+// connection attempt takes a port; a graceful close (which already dwelled
+// in TIME_WAIT inside the sender's state machine) returns it immediately,
+// while an aborted connection returns it with a hold — the 4-tuple must
+// not be reused until the hold expires, or a late segment of the old
+// incarnation could be taken for the new one (the failure mode TIME_WAIT
+// exists to prevent). When every port is taken or held, allocate() fails
+// and the caller decides whether to retry later: port exhaustion is the
+// client-side twin of listen-backlog overflow in a connection storm.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace trim::sim {
+class Simulator;
+}
+
+namespace trim::tcp {
+
+struct PortAllocatorConfig {
+  int port_lo = 32768;  // classic Linux ephemeral range
+  int port_hi = 60999;  // inclusive
+};
+
+// Throws trim::ConfigError on an empty or out-of-range port range.
+void validate(const PortAllocatorConfig& cfg);
+
+class PortAllocator {
+ public:
+  // Validates `cfg`; `sim` supplies the clock for the TIME_WAIT holds.
+  PortAllocator(sim::Simulator* sim, PortAllocatorConfig cfg);
+
+  // Next free port, lowest first; std::nullopt when the range is exhausted
+  // (all ports in use or still held). Expired holds are reclaimed first.
+  std::optional<int> allocate();
+
+  // Return a port for immediate reuse (graceful close: the connection's
+  // own TIME_WAIT already elapsed in its state machine).
+  void release(int port);
+  // Return a port that stays unusable until `hold` from now (aborted
+  // connection: no TIME_WAIT dwell happened, so the allocator enforces it).
+  void release_with_hold(int port, sim::SimTime hold);
+
+  int ports_total() const { return cfg_.port_hi - cfg_.port_lo + 1; }
+  int ports_in_use() const { return in_use_; }
+  int ports_held() const { return static_cast<int>(held_.size()); }
+
+  struct Stats {
+    std::uint64_t allocations = 0;
+    std::uint64_t failed_allocations = 0;   // every allocate() == nullopt
+    std::uint64_t exhaustion_episodes = 0;  // edge-triggered: runs of failure
+    std::uint64_t timewait_reclaims = 0;    // holds that expired and reentered
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void reclaim_expired();
+
+  sim::Simulator* sim_;
+  PortAllocatorConfig cfg_;
+  std::vector<int> free_;  // stack of free ports (top = next handed out)
+  struct Held {
+    sim::SimTime until;
+    int port;
+  };
+  std::vector<Held> held_;
+  int in_use_ = 0;
+  bool last_failed_ = false;
+  Stats stats_;
+};
+
+}  // namespace trim::tcp

@@ -1,0 +1,29 @@
+#include "tcp/rst_responder.hpp"
+
+#include "obs/events.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/config_error.hpp"
+#include "tcp/lifecycle.hpp"
+
+namespace trim::tcp {
+
+RstResponder::RstResponder(net::Host* host) : host_{host} {
+  if (host_ == nullptr) throw ConfigError{"null host", "RstResponder"};
+}
+
+void RstResponder::on_packet(const net::Packet& p) {
+  if (p.rst) return;  // never reset a reset
+  ++rsts_sent_;
+  obs::emit(host_->simulator(), obs::EventKind::kRstSent, p.flow,
+            static_cast<double>(ConnState::kClosed));
+  net::Packet rst;
+  rst.dst = p.src;
+  rst.flow = p.flow;
+  // Mirror the direction: an un-ACK probe draws an ACK-direction RST and
+  // vice versa, so it routes back through the demux the sender listens on.
+  rst.is_ack = !p.is_ack;
+  rst.rst = true;
+  host_->send(std::move(rst));
+}
+
+}  // namespace trim::tcp

@@ -1,0 +1,36 @@
+// A host's answer for segments that reach a closed port.
+//
+// Installed as a Host's default agent (net::Host::set_default_agent), it
+// receives every packet whose flow has no registered endpoint — typically
+// data or control for a connection whose endpoints were already destroyed
+// by a churn scenario — and answers with a RST, exactly as a real stack
+// answers a segment for which no PCB exists. Without it such packets just
+// disappear into the unroutable counter and the surviving peer grinds
+// through its full retransmission schedule; with it, the peer's state
+// machine is torn down on the next RTT.
+//
+// Incoming RSTs are NOT answered (RFC 793: never reset a reset), which is
+// also what breaks the potential RST ping-pong between two closed ports.
+#pragma once
+
+#include <cstdint>
+
+#include "net/host.hpp"
+
+namespace trim::tcp {
+
+class RstResponder : public net::Agent {
+ public:
+  // Does not register for any flow; attach via host->set_default_agent().
+  explicit RstResponder(net::Host* host);
+
+  void on_packet(const net::Packet& p) override;
+
+  std::uint64_t rsts_sent() const { return rsts_sent_; }
+
+ private:
+  net::Host* host_;
+  std::uint64_t rsts_sent_ = 0;
+};
+
+}  // namespace trim::tcp

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "sim/time.hpp"
+#include "tcp/lifecycle.hpp"
 
 namespace trim::tcp {
 
@@ -35,11 +36,14 @@ struct TcpConfig {
   double min_cwnd = 1.0;
   bool ecn_capable = false;          // DCTCP / L2DCT set ECT on data
   int dupack_threshold = 3;
-  // Model the three-way handshake. Off by default: the paper's persistent
+  // Model the full connection lifecycle (SYN/SYN-ACK/FIN/RST state
+  // machine, tcp/lifecycle.hpp). Off by default: the paper's persistent
   // HTTP connections are pre-established. Turn on to study the
   // non-persistent (connection-per-request) alternative the paper's
-  // motivation argues against.
+  // motivation argues against, and connection-storm scenarios.
   bool simulate_handshake = false;
+  // Lifecycle knobs, consulted only when simulate_handshake is on.
+  LifecycleConfig lifecycle;
 };
 
 }  // namespace trim::tcp

@@ -41,11 +41,16 @@ TcpSender::TcpSender(net::Host* host, net::NodeId dst, net::FlowId flow, TcpConf
   cwnd_ref() = cfg_.initial_cwnd;
   ssthresh_ref() = kInitialSsthresh;
   established_ = !cfg_.simulate_handshake;
+  if (cfg_.simulate_handshake) validate(cfg_.lifecycle);
   host_->register_agent(flow_, this);
 }
 
 TcpSender::~TcpSender() {
   cancel_rto();
+  if (time_wait_timer_.valid()) {
+    sim_->cancel(time_wait_timer_);
+    time_wait_timer_ = sim::EventId{};
+  }
   host_->unregister_agent(flow_);
   hot_->release(slot_);
 }
@@ -55,6 +60,18 @@ std::uint64_t TcpSender::write(std::uint64_t bytes) {
     throw ConfigError{"zero-byte message",
                       "TcpSender::write, flow " + std::to_string(flow_),
                       ">= 1 byte"};
+  }
+  if (close_requested_) {
+    throw ConfigError{"write after close",
+                      "TcpSender::write, flow " + std::to_string(flow_),
+                      "no writes once close() has been called"};
+  }
+  if (lifecycle() && conn_ != ConnState::kClosed &&
+      conn_ != ConnState::kSynSent && conn_ != ConnState::kEstablished) {
+    throw ConfigError{"write on a closing connection",
+                      "TcpSender::write, flow " + std::to_string(flow_) +
+                          ", state " + to_string(conn_),
+                      "CLOSED, SYN_SENT or ESTABLISHED"};
   }
   const SeqNum first_seg = total_segments_;
   const std::uint64_t start_byte = bytes_written_;
@@ -121,14 +138,212 @@ bool TcpSender::is_message_end(SeqNum seq) const {
 }
 
 void TcpSender::send_syn() {
-  syn_sent_ = true;
+  if (!syn_sent_) {
+    syn_sent_ = true;
+    syn_first_sent_ = sim_->now();
+    ++lstats_.syn_sent;
+    set_conn_state(ConnState::kSynSent);
+    obs::emit(sim_, obs::EventKind::kConnSynSent, flow_, /*a=*/0.0);
+  }
   net::Packet p;
   p.dst = dst_;
   p.flow = flow_;
   p.syn = true;
+  p.seq = 0;  // the SYN occupies wire slot 0 of the sequence space
   p.ts = sim_->now();
   host_->send(std::move(p));
   if (!rto_timer_.valid()) arm_rto();
+}
+
+void TcpSender::connect() {
+  if (!lifecycle()) {
+    throw ConfigError{"connect() without lifecycle simulation",
+                      "TcpSender::connect, flow " + std::to_string(flow_),
+                      "set TcpConfig::simulate_handshake"};
+  }
+  if (conn_ == ConnState::kClosed && !syn_sent_) send_syn();
+}
+
+void TcpSender::close() {
+  if (!lifecycle()) {
+    throw ConfigError{"close() without lifecycle simulation",
+                      "TcpSender::close, flow " + std::to_string(flow_),
+                      "set TcpConfig::simulate_handshake"};
+  }
+  if (close_requested_) return;
+  close_requested_ = true;
+  if (conn_ == ConnState::kClosed && !syn_sent_) return;  // never opened
+  maybe_send_fin();
+}
+
+void TcpSender::abort() {
+  if (!lifecycle() || conn_ == ConnState::kClosed) return;
+  send_rst();
+  finish_closed(/*graceful=*/false);
+}
+
+SeqNum TcpSender::internal_ack(SeqNum wire) const {
+  if (!lifecycle()) return wire;
+  const SeqNum shifted = wire > 0 ? wire - 1 : 0;
+  return std::min<SeqNum>(shifted, total_segments_);
+}
+
+void TcpSender::set_conn_state(ConnState next) {
+  if (conn_ == next) return;
+  obs::emit(sim_, obs::EventKind::kConnStateChange, flow_,
+            static_cast<double>(next), static_cast<double>(conn_));
+  conn_ = next;
+}
+
+void TcpSender::send_handshake_ack() {
+  net::Packet p;
+  p.dst = dst_;
+  p.flow = flow_;
+  p.is_ack = true;
+  p.seq = 0;
+  p.ack_of_seq = 0;  // 0 = handshake ACK; 1 = ACK of the receiver's FIN
+  p.ts = sim_->now();
+  host_->send(std::move(p));
+}
+
+void TcpSender::maybe_send_fin() {
+  if (!close_requested_ || fin_sent_ || !established_) return;
+  if (conn_ != ConnState::kEstablished && conn_ != ConnState::kCloseWait) return;
+  if (snd_una() != total_segments_) return;  // FIN waits for the data
+  fin_wire_seq_ = total_segments_ + 1;
+  ctrl_retries_ = 0;
+  set_conn_state(conn_ == ConnState::kCloseWait ? ConnState::kLastAck
+                                                : ConnState::kFinWait1);
+  send_fin();
+  arm_rto();
+}
+
+void TcpSender::send_fin() {
+  ++lstats_.fin_sent;
+  fin_sent_ = true;
+  net::Packet p;
+  p.dst = dst_;
+  p.flow = flow_;
+  p.fin = true;
+  p.seq = fin_wire_seq_;
+  p.ts = sim_->now();
+  host_->send(std::move(p));
+}
+
+void TcpSender::send_rst() {
+  ++lstats_.rst_sent;
+  obs::emit(sim_, obs::EventKind::kRstSent, flow_,
+            static_cast<double>(conn_));
+  net::Packet p;
+  p.dst = dst_;
+  p.flow = flow_;
+  p.rst = true;
+  p.ts = sim_->now();
+  host_->send(std::move(p));
+}
+
+void TcpSender::handle_syn_ack(const net::Packet& p) {
+  if (established_) {
+    // Duplicate SYN-ACK: our handshake ACK was lost. Re-ack.
+    if (lifecycle()) send_handshake_ack();
+    return;
+  }
+  established_ = true;
+  ctrl_retries_ = 0;
+  rto_backoff_ = 0;
+  // ts == 0 marks a receiver-timer retransmission with no fresh timestamp
+  // echo (Karn's rule: no RTT sample from a retransmitted exchange).
+  if (!lifecycle() || p.ts > sim::SimTime::zero()) {
+    rtt_ref().add_sample(sim_->now() - p.ts);
+  }
+  cancel_rto();
+  if (lifecycle()) {
+    lstats_.ever_established = true;
+    lstats_.setup_latency = sim_->now() - syn_first_sent_;
+    set_conn_state(ConnState::kEstablished);
+    obs::emit(sim_, obs::EventKind::kConnEstablished, flow_,
+              lstats_.setup_latency.to_seconds(),
+              static_cast<double>(lstats_.syn_retx));
+    send_handshake_ack();
+  }
+  try_send();
+  maybe_send_fin();  // close() may have arrived while the SYN was in flight
+}
+
+void TcpSender::handle_peer_fin(const net::Packet& p) {
+  // The receiver's FIN doubles as a cumulative ACK (its `seq` is the
+  // receiver's rcv_next_), but by construction it only goes out once every
+  // data byte — and, in simultaneous close, possibly our FIN — is acked,
+  // so only the FIN-ack content matters here.
+  if (fin_sent_ && !fin_acked_ && p.seq >= fin_wire_seq_ + 1) {
+    fin_acked_ = true;
+    cancel_rto();
+  }
+  // Always ack the peer's FIN (ack_of_seq 1 names the receiver's control
+  // FIN; duplicates of this packet are idempotent at the receiver).
+  net::Packet ack;
+  ack.dst = dst_;
+  ack.flow = flow_;
+  ack.is_ack = true;
+  ack.seq = 0;
+  ack.ack_of_seq = 1;
+  ack.ts = sim_->now();
+  host_->send(std::move(ack));
+
+  switch (conn_) {
+    case ConnState::kEstablished:
+      set_conn_state(ConnState::kCloseWait);
+      maybe_send_fin();
+      break;
+    case ConnState::kFinWait1:
+      if (fin_acked_) {
+        enter_time_wait();
+      } else {
+        set_conn_state(ConnState::kClosing);
+      }
+      break;
+    case ConnState::kFinWait2:
+      enter_time_wait();
+      break;
+    default:
+      break;  // duplicate FIN in TIME_WAIT etc.: the re-ack above suffices
+  }
+}
+
+void TcpSender::handle_rst_received() {
+  ++lstats_.rst_received;
+  finish_closed(/*graceful=*/false);
+}
+
+void TcpSender::enter_time_wait() {
+  cancel_rto();
+  set_conn_state(ConnState::kTimeWait);
+  if (time_wait_timer_.valid()) sim_->cancel(time_wait_timer_);
+  time_wait_timer_ = sim_->schedule(cfg_.lifecycle.time_wait,
+                                    [this] { finish_closed(true); });
+}
+
+void TcpSender::finish_closed(bool graceful) {
+  cancel_rto();
+  if (time_wait_timer_.valid()) {
+    sim_->cancel(time_wait_timer_);
+    time_wait_timer_ = sim::EventId{};
+  }
+  established_ = false;
+  close_requested_ = true;  // the flow is spent; write() now throws
+  lstats_.graceful_close = graceful;
+  obs::emit(sim_, obs::EventKind::kConnClosed, flow_, graceful ? 1.0 : 0.0,
+            static_cast<double>(conn_));
+  set_conn_state(ConnState::kClosed);
+  for (const auto& cb : on_closed_) cb(graceful, sim_->now());
+}
+
+void TcpSender::give_up() {
+  TRIM_LOG(sim::LogLevel::kInfo, sim_,
+           "flow %u: lifecycle give-up in %s after %d retransmissions", flow_,
+           to_string(conn_), ctrl_retries_);
+  send_rst();
+  finish_closed(/*graceful=*/false);
 }
 
 std::uint64_t TcpSender::window_segments() const {
@@ -163,6 +378,8 @@ void TcpSender::send_segment(SeqNum seq, bool retransmission) {
   p.payload_bytes = segment_payload_bytes(seq);
   p.ts = sim_->now();
   if (cfg_.ecn_capable) p.ecn = net::EcnCodepoint::kEct;
+  // The CC hooks see the internal (data-space) sequence number; the wire
+  // offset for the SYN slot is applied just before transmission.
   cc_before_send(p);
 
   ++stats_.data_packets_sent;
@@ -172,6 +389,7 @@ void TcpSender::send_segment(SeqNum seq, bool retransmission) {
 
   last_send_time_ = sim_->now();
   const net::Packet snapshot = p;
+  p.seq = wire_seq(seq);
   host_->send(std::move(p));
 
   if (!rto_timer_.valid()) arm_rto();
@@ -182,7 +400,7 @@ void TcpSender::send_redundant_copy(SeqNum seq) {
   net::Packet p;
   p.dst = dst_;
   p.flow = flow_;
-  p.seq = seq;
+  p.seq = wire_seq(seq);
   p.payload_bytes = segment_payload_bytes(seq);
   p.ts = sim_->now();
   if (cfg_.ecn_capable) p.ecn = net::EcnCodepoint::kEct;
@@ -216,16 +434,49 @@ void TcpSender::on_rto() {
   rto_timer_ = sim::EventId{};
   hot_->rto_deadline(slot_) = sim::SimTime::max();
   if (!established_) {  // lost SYN or SYN-ACK: retry the handshake
+    if (lifecycle() && conn_ != ConnState::kSynSent) return;  // aborted
+    if (lifecycle() && ctrl_retries_ >= cfg_.lifecycle.max_syn_retries) {
+      give_up();
+      return;
+    }
     ++stats_.timeouts;
+    ++ctrl_retries_;
     ++rto_backoff_;
+    ++lstats_.syn_retx;
     obs::emit(sim_, obs::EventKind::kRtoFired, flow_,
               static_cast<double>(rto_backoff_ - 1), 0.0);
     obs::emit(sim_, obs::EventKind::kRtoBackoff, flow_,
               static_cast<double>(rto_backoff_), 0.0);
+    obs::emit(sim_, obs::EventKind::kSynRetx, flow_,
+              static_cast<double>(rto_backoff_),
+              static_cast<double>(ctrl_retries_));
     net::Packet p;
     p.dst = dst_;
     p.flow = flow_;
     p.syn = true;
+    p.seq = 0;
+    p.ts = sim_->now();
+    host_->send(std::move(p));
+    arm_rto();
+    return;
+  }
+  if (lifecycle() && fin_sent_ && !fin_acked_) {  // lost FIN (or its ACK)
+    if (ctrl_retries_ >= cfg_.lifecycle.max_fin_retries) {
+      give_up();
+      return;
+    }
+    ++stats_.timeouts;
+    ++ctrl_retries_;
+    ++rto_backoff_;
+    ++lstats_.fin_retx;
+    obs::emit(sim_, obs::EventKind::kFinRetx, flow_,
+              static_cast<double>(rto_backoff_),
+              static_cast<double>(ctrl_retries_));
+    net::Packet p;
+    p.dst = dst_;
+    p.flow = flow_;
+    p.fin = true;
+    p.seq = fin_wire_seq_;
     p.ts = sim_->now();
     host_->send(std::move(p));
     arm_rto();
@@ -256,25 +507,60 @@ void TcpSender::on_rto() {
 }
 
 void TcpSender::on_packet(const net::Packet& p) {
+  if (lifecycle() && p.rst) {  // abortive teardown from the peer
+    if (conn_ != ConnState::kClosed) handle_rst_received();
+    return;
+  }
   if (!p.is_ack) return;  // sender side only consumes ACKs
 
   if (p.syn) {  // SYN-ACK completes the handshake
-    if (!established_) {
-      established_ = true;
-      rtt_ref().add_sample(sim_->now() - p.ts);
-      cancel_rto();
-      try_send();
-    }
+    handle_syn_ack(p);
+    return;
+  }
+
+  if (lifecycle() && p.fin) {  // the receiver's FIN (half-close back)
+    handle_peer_fin(p);
+    return;
+  }
+
+  if (lifecycle() && !established_) {
+    // A plain ACK in SYN_SENT acknowledges nothing we sent: answer RST and
+    // keep the handshake going. This is the reset half of the
+    // SYN-into-established / challenge-ACK interaction — if that ACK was a
+    // challenge from a previous incarnation still ESTABLISHED at the peer,
+    // our RST tears the stale incarnation down.
+    if (conn_ == ConnState::kSynSent) send_rst();
     return;
   }
 
   AckEvent ev;
-  ev.ack_seq = p.seq;
-  ev.ack_of_seq = p.ack_of_seq;
+  ev.ack_seq = internal_ack(p.seq);
+  ev.ack_of_seq = internal_ack(p.ack_of_seq);
   ev.rtt = sim_->now() - p.ts;
   ev.ece = p.ece;
-  ev.is_dup = p.seq == snd_una() && snd_next() > snd_una();
-  ev.newly_acked = p.seq > snd_una() ? p.seq - snd_una() : 0;
+  ev.is_dup = ev.ack_seq == snd_una() && snd_next() > snd_una();
+  ev.newly_acked = ev.ack_seq > snd_una() ? ev.ack_seq - snd_una() : 0;
+
+  if (lifecycle() && fin_sent_ && !fin_acked_ && p.seq >= fin_wire_seq_ + 1) {
+    // Cumulative ack covering our FIN's wire slot.
+    fin_acked_ = true;
+    ctrl_retries_ = 0;
+    rto_backoff_ = 0;
+    cancel_rto();
+    switch (conn_) {
+      case ConnState::kFinWait1:
+        set_conn_state(ConnState::kFinWait2);
+        break;
+      case ConnState::kClosing:
+        enter_time_wait();
+        break;
+      case ConnState::kLastAck:
+        finish_closed(/*graceful=*/true);
+        return;  // `this` may be torn down by a closed callback's owner
+      default:
+        break;
+    }
+  }
 
   ++stats_.acked_segments;
   if (ev.ece) ++stats_.ecn_marked_acks;
@@ -330,6 +616,7 @@ void TcpSender::handle_new_ack(const AckEvent& ev) {
 
   if (snd_una() == total_segments_ && snd_next() == total_segments_) {
     cancel_rto();  // everything delivered
+    maybe_send_fin();  // a pending close() follows the last data ack
   } else {
     arm_rto();  // restart for the oldest outstanding data
   }

@@ -67,6 +67,30 @@ class TcpSender : public net::Agent {
   std::uint64_t bytes_written() const { return bytes_written_; }
   std::uint64_t bytes_acked() const { return acked_bytes_; }
 
+  // ---- connection lifecycle (only with cfg.simulate_handshake) ----
+  // Active open: send the SYN now instead of lazily on the first write().
+  void connect();
+  // Graceful close: the FIN goes out once every written byte is acked
+  // (sends immediately when already idle). write() after close() throws.
+  // Throws trim::ConfigError when lifecycle simulation is off.
+  void close();
+  // Abortive close: RST the peer and drop to CLOSED immediately.
+  void abort();
+  // kEstablished when lifecycle simulation is off (the legacy
+  // pre-established world), the live state machine otherwise.
+  ConnState conn_state() const {
+    return cfg_.simulate_handshake ? conn_ : ConnState::kEstablished;
+  }
+  const LifecycleStats& lifecycle_stats() const { return lstats_; }
+  bool time_wait_timer_armed() const { return time_wait_timer_.valid(); }
+  // Fires exactly once, when the state machine reaches CLOSED (gracefully
+  // via the FIN exchange or aborted via RST/give-up).
+  using ClosedCallback =
+      sim::InlineFunction<void(bool graceful, sim::SimTime now)>;
+  void add_closed_callback(ClosedCallback cb) {
+    on_closed_.push_back(std::move(cb));
+  }
+
   // ---- introspection ----
   // The per-ACK hot fields live in the shard's mem::FlowHotTable (SoA
   // columns, slot assigned at construction), not in this object; these
@@ -177,12 +201,35 @@ class TcpSender : public net::Agent {
   bool is_message_start(SeqNum seq) const;
   bool is_message_end(SeqNum seq) const;
 
-  // Handshake state (only meaningful with cfg.simulate_handshake).
+  // Handshake state (only meaningful with cfg.simulate_handshake): true
+  // from ESTABLISHED until the connection closes or aborts.
   bool connection_established() const { return established_; }
 
- protected:
-
  private:
+  // True when the full lifecycle (tcp/lifecycle.hpp) is simulated. With it
+  // off, every lifecycle branch below is dead and the sender behaves
+  // byte-identically to the pre-established world.
+  bool lifecycle() const { return cfg_.simulate_handshake; }
+  // Wire sequence mapping: the SYN occupies wire slot 0, so data segment i
+  // travels as wire seq i+1 and the FIN as total_segments_ + 1. Internal
+  // accounting (snd_una/snd_next, messages, CC hooks) stays in data space.
+  SeqNum wire_seq(SeqNum internal) const {
+    return lifecycle() ? internal + 1 : internal;
+  }
+  SeqNum internal_ack(SeqNum wire) const;
+  void set_conn_state(ConnState next);
+  void send_handshake_ack();
+  void maybe_send_fin();
+  void send_fin();
+  void send_rst();
+  void handle_syn_ack(const net::Packet& p);
+  void handle_peer_fin(const net::Packet& p);
+  void handle_rst_received();
+  void enter_time_wait();
+  // Terminal transition to CLOSED: cancels every timer, drops
+  // established_, emits kConnClosed, and fires the closed callbacks.
+  void finish_closed(bool graceful);
+  void give_up();  // control-retransmission budget exhausted: RST + abort
   // Outstanding message containing `seq`, or nullptr (acked or unwritten).
   const MessageRecord* find_message(SeqNum seq) const;
   // Payload bytes of segment `seq` (full MSS except message tails).
@@ -228,6 +275,18 @@ class TcpSender : public net::Agent {
 
   bool established_ = true;  // false until SYN-ACK when handshake is on
   bool syn_sent_ = false;
+
+  // Lifecycle state (untouched unless cfg.simulate_handshake).
+  ConnState conn_ = ConnState::kClosed;
+  bool close_requested_ = false;
+  bool fin_sent_ = false;
+  bool fin_acked_ = false;
+  SeqNum fin_wire_seq_ = 0;
+  int ctrl_retries_ = 0;  // consecutive SYN or FIN retransmissions
+  sim::SimTime syn_first_sent_;
+  sim::EventId time_wait_timer_;
+  LifecycleStats lstats_;
+  std::vector<ClosedCallback> on_closed_;
 
   SeqNum max_seq_sent_ = 0;  // high-water mark of snd_next
   std::uint64_t acked_bytes_ = 0;

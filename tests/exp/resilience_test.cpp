@@ -70,5 +70,58 @@ TEST(ResilienceScenario, FaultyRunStaysInvariantCleanAndDeterministic) {
   EXPECT_EQ(a.bottleneck_faults.random_losses, b.bottleneck_faults.random_losses);
 }
 
+ResilienceConfig churn_config(tcp::Protocol protocol) {
+  auto cfg = quick_config(protocol);
+  cfg.churn = true;
+  cfg.messages_per_server = 4;
+  cfg.run_until = sim::SimTime::seconds(2.0);
+  cfg.min_rto = sim::SimTime::millis(50);
+  cfg.lifecycle.time_wait = sim::SimTime::millis(10);
+  cfg.lifecycle.retx_rto_initial = sim::SimTime::millis(50);
+  cfg.lifecycle.retx_rto_max = sim::SimTime::millis(200);
+  return cfg;
+}
+
+TEST(ResilienceScenario, ChurnRunsEveryMessageOnAFreshConnection) {
+  for (auto protocol :
+       {tcp::Protocol::kReno, tcp::Protocol::kDctcp, tcp::Protocol::kTrim}) {
+    const auto r = run_resilience(churn_config(protocol));
+    EXPECT_TRUE(r.all_completed) << tcp::to_string(protocol);
+    EXPECT_EQ(r.messages_completed, 12u);
+    EXPECT_EQ(r.connections_opened, 12u);  // one connection per message
+    EXPECT_EQ(r.graceful_closes, 12u);
+    EXPECT_EQ(r.aborted_closes, 0u);
+    EXPECT_EQ(r.churn_backlog.syn_seen, 12u);
+    EXPECT_GT(r.goodput_mbps, 0.0);
+    EXPECT_EQ(r.invariant_violations, 0u);
+  }
+}
+
+TEST(ResilienceScenario, ChurnValidationCoversLifecycleKnobs) {
+  auto cfg = churn_config(tcp::Protocol::kReno);
+  cfg.churn_backlog.depth = 0;
+  try {
+    validate(cfg);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.where(), "ListenQueueConfig::depth");
+  }
+}
+
+TEST(ResilienceScenario, ChurnSurvivesControlPacketLossDeterministically) {
+  auto cfg = churn_config(tcp::Protocol::kReno);
+  cfg.bottleneck_fault.seed = 9;
+  cfg.bottleneck_fault.ctrl_loss_probability = 0.15;
+  const auto a = run_resilience(cfg);
+  const auto b = run_resilience(cfg);
+  EXPECT_GT(a.bottleneck_faults.ctrl_losses, 0u);
+  EXPECT_GT(a.syn_retx + a.fin_retx, 0u);
+  EXPECT_EQ(a.invariant_violations, 0u);
+  EXPECT_EQ(a.messages_completed, b.messages_completed);
+  EXPECT_EQ(a.syn_retx, b.syn_retx);
+  EXPECT_EQ(a.fin_retx, b.fin_retx);
+  EXPECT_EQ(a.goodput_mbps, b.goodput_mbps);
+}
+
 }  // namespace
 }  // namespace trim::exp

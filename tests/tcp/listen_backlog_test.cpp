@@ -1,0 +1,164 @@
+// Unit tests for the two storm-facing resource managers: the server-side
+// listen backlog (SYN queue) and the client-side ephemeral-port allocator
+// with its TIME_WAIT reuse guard.
+#include <gtest/gtest.h>
+
+#include "sim/config_error.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/listen_queue.hpp"
+#include "tcp/port_allocator.hpp"
+
+namespace trim::tcp {
+namespace {
+
+TEST(ListenQueue, ValidationRejectsNonPositiveDepth) {
+  ListenQueueConfig cfg;
+  cfg.depth = 0;
+  try {
+    validate(cfg);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.where(), "ListenQueueConfig::depth");
+  }
+  cfg.depth = -4;
+  EXPECT_THROW(ListenQueue{cfg}, ConfigError);
+}
+
+TEST(ListenQueue, AcceptsUpToDepthThenAppliesDropPolicy) {
+  ListenQueueConfig cfg;
+  cfg.depth = 2;
+  ListenQueue q{cfg};
+  EXPECT_EQ(q.on_syn(1), ListenQueue::Verdict::kAccept);
+  EXPECT_EQ(q.on_syn(2), ListenQueue::Verdict::kAccept);
+  EXPECT_EQ(q.occupancy(), 2);
+  EXPECT_EQ(q.on_syn(3), ListenQueue::Verdict::kDrop);
+  EXPECT_EQ(q.occupancy(), 2);
+  EXPECT_EQ(q.stats().syn_seen, 3u);
+  EXPECT_EQ(q.stats().accepted, 2u);
+  EXPECT_EQ(q.stats().overflow_drops, 1u);
+  EXPECT_EQ(q.stats().overflow_rsts, 0u);
+  EXPECT_EQ(q.stats().peak_occupancy, 2);
+}
+
+TEST(ListenQueue, RstPolicyRefusesOverflowExplicitly) {
+  ListenQueueConfig cfg;
+  cfg.depth = 1;
+  cfg.overflow = ListenQueueConfig::OverflowPolicy::kRst;
+  ListenQueue q{cfg};
+  EXPECT_EQ(q.on_syn(1), ListenQueue::Verdict::kAccept);
+  EXPECT_EQ(q.on_syn(2), ListenQueue::Verdict::kRst);
+  EXPECT_EQ(q.stats().overflow_rsts, 1u);
+  EXPECT_EQ(q.stats().overflow_drops, 0u);
+}
+
+TEST(ListenQueue, RetransmittedSynDoesNotTakeASecondSlot) {
+  ListenQueueConfig cfg;
+  cfg.depth = 2;
+  ListenQueue q{cfg};
+  EXPECT_EQ(q.on_syn(7), ListenQueue::Verdict::kAccept);
+  // The same connection retries (SYN-ACK lost): still accepted, still one
+  // slot, and not a fresh SYN in the stats.
+  EXPECT_EQ(q.on_syn(7), ListenQueue::Verdict::kAccept);
+  EXPECT_EQ(q.occupancy(), 1);
+  EXPECT_EQ(q.stats().syn_seen, 1u);
+  EXPECT_EQ(q.stats().accepted, 1u);
+}
+
+TEST(ListenQueue, EstablishedAndAbortedBothFreeTheSlot) {
+  ListenQueueConfig cfg;
+  cfg.depth = 1;
+  ListenQueue q{cfg};
+  ASSERT_EQ(q.on_syn(1), ListenQueue::Verdict::kAccept);
+  ASSERT_EQ(q.on_syn(2), ListenQueue::Verdict::kDrop);
+  q.on_established(1);
+  EXPECT_EQ(q.occupancy(), 0);
+  EXPECT_EQ(q.on_syn(2), ListenQueue::Verdict::kAccept);
+  q.on_aborted(2);
+  EXPECT_EQ(q.occupancy(), 0);
+  EXPECT_EQ(q.on_syn(3), ListenQueue::Verdict::kAccept);
+  // Freeing a flow that holds no slot is a no-op, not an underflow.
+  q.on_established(99);
+  EXPECT_EQ(q.occupancy(), 1);
+}
+
+TEST(PortAllocator, ValidationRejectsBadRanges) {
+  sim::Simulator sim;
+  {
+    PortAllocatorConfig cfg;
+    cfg.port_lo = 0;  // outside the TCP port space
+    EXPECT_THROW(validate(cfg), ConfigError);
+  }
+  {
+    PortAllocatorConfig cfg;
+    cfg.port_hi = 70000;
+    EXPECT_THROW((PortAllocator{&sim, cfg}), ConfigError);
+  }
+  {
+    PortAllocatorConfig cfg;
+    cfg.port_lo = 500;
+    cfg.port_hi = 400;  // empty range
+    try {
+      validate(cfg);
+      FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+      EXPECT_EQ(e.where(), "PortAllocatorConfig::port_lo/port_hi");
+    }
+  }
+  EXPECT_THROW((PortAllocator{nullptr, PortAllocatorConfig{}}), ConfigError);
+}
+
+TEST(PortAllocator, HandsOutLowestFirstAndExhausts) {
+  sim::Simulator sim;
+  PortAllocatorConfig cfg;
+  cfg.port_lo = 100;
+  cfg.port_hi = 102;
+  PortAllocator alloc{&sim, cfg};
+  EXPECT_EQ(alloc.ports_total(), 3);
+  EXPECT_EQ(alloc.allocate(), 100);
+  EXPECT_EQ(alloc.allocate(), 101);
+  EXPECT_EQ(alloc.allocate(), 102);
+  EXPECT_EQ(alloc.ports_in_use(), 3);
+  EXPECT_EQ(alloc.allocate(), std::nullopt);
+  EXPECT_EQ(alloc.allocate(), std::nullopt);
+  // Two failures inside one dry spell are one exhaustion episode.
+  EXPECT_EQ(alloc.stats().failed_allocations, 2u);
+  EXPECT_EQ(alloc.stats().exhaustion_episodes, 1u);
+  alloc.release(101);
+  EXPECT_EQ(alloc.allocate(), 101);
+  // A success resets the episode edge: the next dry spell counts anew.
+  EXPECT_EQ(alloc.allocate(), std::nullopt);
+  EXPECT_EQ(alloc.stats().exhaustion_episodes, 2u);
+}
+
+TEST(PortAllocator, TimeWaitHoldBlocksReuseUntilExpiry) {
+  sim::Simulator sim;
+  PortAllocatorConfig cfg;
+  cfg.port_lo = 200;
+  cfg.port_hi = 200;  // one port makes the guard directly observable
+  PortAllocator alloc{&sim, cfg};
+  ASSERT_EQ(alloc.allocate(), 200);
+  alloc.release_with_hold(200, sim::SimTime::millis(50));
+  EXPECT_EQ(alloc.ports_held(), 1);
+  // Still inside the hold: the 4-tuple must not be reused.
+  EXPECT_EQ(alloc.allocate(), std::nullopt);
+  sim.schedule(sim::SimTime::millis(60), [] {});
+  sim.run();
+  EXPECT_EQ(alloc.allocate(), 200);
+  EXPECT_EQ(alloc.stats().timewait_reclaims, 1u);
+  EXPECT_EQ(alloc.ports_held(), 0);
+}
+
+TEST(PortAllocator, ZeroHoldReleasesImmediately) {
+  sim::Simulator sim;
+  PortAllocatorConfig cfg;
+  cfg.port_lo = 300;
+  cfg.port_hi = 300;
+  PortAllocator alloc{&sim, cfg};
+  ASSERT_EQ(alloc.allocate(), 300);
+  alloc.release_with_hold(300, sim::SimTime::zero());
+  EXPECT_EQ(alloc.ports_held(), 0);
+  EXPECT_EQ(alloc.allocate(), 300);
+}
+
+}  // namespace
+}  // namespace trim::tcp
