@@ -18,7 +18,8 @@
 #include "exp/connection_storm_scenario.hpp"
 #include "exp/experiment.hpp"
 #include "exp/parallel_runner.hpp"
-#include "stats/cdf.hpp"
+#include "obs/diagnosis.hpp"
+#include "obs/metrics.hpp"
 #include "stats/table.hpp"
 
 using namespace trim;
@@ -92,6 +93,15 @@ std::vector<StormProfile> storm_matrix() {
   return profiles;
 }
 
+std::size_t episode_count(const obs::TelemetrySnapshot& tele,
+                          obs::DetectorKind kind) {
+  std::size_t n = 0;
+  for (const auto& e : tele.episodes) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
 }  // namespace
 
 int main() {
@@ -122,27 +132,38 @@ int main() {
   std::uint64_t total_violations = 0;
   std::uint64_t total_stuck = 0;
   stats::Table table{{"profile", "attempted", "established", "setup p50/p99 (ms)",
-                      "backlog drop/rst", "port dry", "syn+fin retx", "rst"}};
+                      "backlog drop/rst", "port dry", "syn+fin retx", "rst",
+                      "diagnosed"}};
   for (std::size_t i = 0; i < profiles.size(); ++i) {
     const auto& name = profiles[i].name;
     const auto& r = results[i];
     total_violations += r.invariant_violations;
     total_stuck += r.stuck_connections;
 
-    stats::Cdf setup;
-    setup.add_all(r.setup_latency_s);
-    const double p50_ms = setup.empty() ? 0.0 : setup.quantile(0.50) * 1e3;
-    const double p99_ms = setup.empty() ? 0.0 : setup.quantile(0.99) * 1e3;
+    // Scenario-recorded setup-latency histogram (ms), summarized by the
+    // shared percentile helper instead of per-bench CDF math.
+    const auto* setup_h = obs::find_histogram(r.telemetry.metrics, "conn.setup_ms");
+    const obs::Percentiles setup =
+        setup_h != nullptr ? obs::percentiles(*setup_h) : obs::Percentiles{};
+
+    const std::size_t ep_rto =
+        episode_count(r.telemetry, obs::DetectorKind::kRtoSync);
+    const std::size_t ep_backlog =
+        episode_count(r.telemetry, obs::DetectorKind::kBacklogSaturation);
+    const std::size_t ep_collapse =
+        episode_count(r.telemetry, obs::DetectorKind::kThroughputCollapse);
 
     table.add_row(
         {name, stats::Table::integer(static_cast<long long>(r.connections_attempted)),
          stats::Table::integer(static_cast<long long>(r.connections_established)),
-         bench::fmt("%.2f", p50_ms) + " / " + bench::fmt("%.2f", p99_ms),
+         bench::fmt("%.2f", setup.p50) + " / " + bench::fmt("%.2f", setup.p99),
          std::to_string(r.backlog.overflow_drops) + "/" +
              std::to_string(r.backlog.overflow_rsts),
          stats::Table::integer(static_cast<long long>(r.ports.exhaustion_episodes)),
          stats::Table::integer(static_cast<long long>(r.syn_retx + r.fin_retx)),
-         stats::Table::integer(static_cast<long long>(r.rst_sent))});
+         stats::Table::integer(static_cast<long long>(r.rst_sent)),
+         stats::Table::integer(
+             static_cast<long long>(ep_rto + ep_backlog + ep_collapse))});
 
     const auto& ev = r.telemetry.events;
     json.add(name, 0.0,
@@ -153,10 +174,10 @@ int main() {
               {"aborted_closes", static_cast<double>(r.aborted_closes)},
               {"no_port_skips", static_cast<double>(r.no_port_skips)},
               {"stuck_connections", static_cast<double>(r.stuck_connections)},
-              {"setup_ms_p50", p50_ms},
-              {"setup_ms_p90", setup.empty() ? 0.0 : setup.quantile(0.90) * 1e3},
-              {"setup_ms_p99", p99_ms},
-              {"setup_ms_max", setup.empty() ? 0.0 : setup.max() * 1e3},
+              {"setup_ms_p50", setup.p50},
+              {"setup_ms_p90", setup.p90},
+              {"setup_ms_p99", setup.p99},
+              {"setup_ms_max", setup.max},
               {"backlog_overflow_drops",
                static_cast<double>(r.backlog.overflow_drops)},
               {"backlog_overflow_rsts",
@@ -180,14 +201,19 @@ int main() {
               {"ev_syn_retx", static_cast<double>(ev[obs::EventKind::kSynRetx])},
               {"ev_backlog_drop",
                static_cast<double>(ev[obs::EventKind::kBacklogDrop])},
-              {"ev_rst", static_cast<double>(ev[obs::EventKind::kRstSent])}});
+              {"ev_rst", static_cast<double>(ev[obs::EventKind::kRstSent])},
+              {"episodes_rto_sync", static_cast<double>(ep_rto)},
+              {"episodes_backlog_saturation", static_cast<double>(ep_backlog)},
+              {"episodes_throughput_collapse", static_cast<double>(ep_collapse)}});
     report.add_row(name,
-                   {{"setup_ms_p99", p99_ms},
+                   {{"setup_ms_p99", setup.p99},
                     {"stuck_connections", static_cast<double>(r.stuck_connections)},
                     {"backlog_overflow_drops",
                      static_cast<double>(r.backlog.overflow_drops)},
                     {"rst_sent", static_cast<double>(r.rst_sent)},
-                    {"syn_retx", static_cast<double>(r.syn_retx)}});
+                    {"syn_retx", static_cast<double>(r.syn_retx)},
+                    {"episodes_diagnosed",
+                     static_cast<double>(ep_rto + ep_backlog + ep_collapse)}});
   }
   table.print();
   std::printf("\n");

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -33,6 +34,11 @@ struct Cell {
   std::uint64_t events = 0;
   double run_wall_s = 0.0;       // of the best trial
   double act_ms = 0.0;           // scenario-level sanity metric
+  // Shard-execution telemetry (of the best trial; zero on the serial path).
+  std::uint64_t windows = 0;
+  double events_imbalance = 0.0;       // busiest shard / mean
+  std::vector<double> shard_stall_s;   // [shard] barrier-stall wall time
+  std::vector<std::uint64_t> shard_events;  // [shard] windowed dispatches
 };
 
 exp::LargeScaleConfig fig08_config(int shards, bool quick) {
@@ -69,6 +75,10 @@ Cell measure(int shards, int trials, Run run, double Result::* act) {
       cell.events_per_sec = eps;
       cell.events = r.events_dispatched;
       cell.run_wall_s = r.run_wall_s;
+      cell.windows = r.windows;
+      cell.events_imbalance = r.events_imbalance;
+      cell.shard_stall_s = r.shard_stall_s;
+      cell.shard_events = r.shard_events;
     }
     cell.act_ms = r.*act;
   }
@@ -96,13 +106,40 @@ bool determinism_check(const char* name, int shards, Run run, double Result::* a
 
 void print_curve(const char* title, const std::vector<Cell>& cells) {
   std::printf("%s\n", title);
-  std::printf("  %-7s %14s %12s %10s %10s\n", "shards", "events/s", "events",
-              "wall (s)", "speedup");
+  std::printf("  %-7s %14s %12s %10s %10s %9s %10s %11s\n", "shards",
+              "events/s", "events", "wall (s)", "speedup", "windows",
+              "imbalance", "stall (s)");
   const double serial = cells.front().events_per_sec;
   for (const auto& c : cells) {
-    std::printf("  %-7d %14.0f %12llu %10.3f %9.2fx\n", c.shards,
-                c.events_per_sec, static_cast<unsigned long long>(c.events),
-                c.run_wall_s, serial > 0.0 ? c.events_per_sec / serial : 0.0);
+    double stall = 0.0;
+    for (const double s : c.shard_stall_s) stall += s;
+    std::printf("  %-7d %14.0f %12llu %10.3f %9.2fx %9llu %10.2f %11.3f\n",
+                c.shards, c.events_per_sec,
+                static_cast<unsigned long long>(c.events), c.run_wall_s,
+                serial > 0.0 ? c.events_per_sec / serial : 0.0,
+                static_cast<unsigned long long>(c.windows), c.events_imbalance,
+                stall);
+  }
+}
+
+// One report row per cell, with per-shard stall/dispatch columns so the
+// barrier behavior is auditable from REPORT_engine_shard.json.
+void report_curve(obs::RunReport& report, const char* prefix,
+                  const std::vector<Cell>& cells) {
+  for (const auto& c : cells) {
+    std::vector<std::pair<std::string, double>> row{
+        {"shards", static_cast<double>(c.shards)},
+        {"events_per_sec", c.events_per_sec},
+        {"windows", static_cast<double>(c.windows)},
+        {"events_imbalance", c.events_imbalance},
+    };
+    for (std::size_t i = 0; i < c.shard_stall_s.size(); ++i) {
+      row.emplace_back("stall_s_" + std::to_string(i), c.shard_stall_s[i]);
+      row.emplace_back("events_" + std::to_string(i),
+                       static_cast<double>(c.shard_events[i]));
+    }
+    report.add_row(std::string{prefix} + "_shards_" + std::to_string(c.shards),
+                   std::move(row));
   }
 }
 
@@ -119,6 +156,7 @@ int main() {
 
   const std::vector<int> widths{1, 2, 4, 8};
   bench::BenchJson json{"engine_shard"};
+  obs::RunReport report{"engine_shard"};
 
   // --- fig08-scale two-tier incast ---
   auto run08 = [quick](int shards) {
@@ -139,8 +177,11 @@ int main() {
               {"speedup_vs_serial",
                serial08 > 0.0 ? c.events_per_sec / serial08 : 0.0},
               {"spt_act_ms", c.act_ms},
+              {"windows", static_cast<double>(c.windows)},
+              {"events_imbalance", c.events_imbalance},
               {"hw_threads", static_cast<double>(hw)}});
   }
+  report_curve(report, "fig08_scale", curve08);
 
   // --- fig12-scale fat-tree ---
   auto run12 = [quick](int shards) {
@@ -162,8 +203,12 @@ int main() {
               {"speedup_vs_serial",
                serial12 > 0.0 ? c.events_per_sec / serial12 : 0.0},
               {"mean_completion_ms", c.act_ms},
+              {"windows", static_cast<double>(c.windows)},
+              {"events_imbalance", c.events_imbalance},
               {"hw_threads", static_cast<double>(hw)}});
   }
+  report_curve(report, "fattree_scale", curve12);
+  bench::finish_report(report);
 
   // --- determinism self-check at the widest sharded width ---
   std::printf("\ndeterminism self-check (8 shards, two repetitions)... ");

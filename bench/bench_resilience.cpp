@@ -17,6 +17,8 @@
 #include "exp/experiment.hpp"
 #include "exp/parallel_runner.hpp"
 #include "exp/resilience_scenario.hpp"
+#include "obs/diagnosis.hpp"
+#include "obs/metrics.hpp"
 #include "stats/table.hpp"
 
 using namespace trim;
@@ -175,6 +177,10 @@ int main() {
       // auditable from the JSON alone: how many losses/reorders/etc. were
       // actually injected and how the transport reacted (probes, RTO fires).
       const auto& ev = r.telemetry.events;
+      const auto* setup_h =
+          obs::find_histogram(r.telemetry.metrics, "conn.setup_ms");
+      const obs::Percentiles setup =
+          setup_h != nullptr ? obs::percentiles(*setup_h) : obs::Percentiles{};
       json.add(profile.name + "/" + tcp::to_string(protocol), 0.0,
                {{"goodput_mbps", r.goodput_mbps},
                 {"timeouts", static_cast<double>(r.total_timeouts)},
@@ -211,7 +217,14 @@ int main() {
                 {"graceful_closes", static_cast<double>(r.graceful_closes)},
                 {"aborted_closes", static_cast<double>(r.aborted_closes)},
                 {"backlog_overflow_drops",
-                 static_cast<double>(r.churn_backlog.overflow_drops)}});
+                 static_cast<double>(r.churn_backlog.overflow_drops)},
+                // Churn setup latency from the scenario-recorded histogram
+                // (ms), via the shared percentile helper.
+                {"setup_ms_p50", setup.p50},
+                {"setup_ms_p99", setup.p99},
+                {"setup_ms_max", setup.max},
+                {"episodes_diagnosed",
+                 static_cast<double>(r.telemetry.episodes.size())}});
       report.add_row(
           profile.name + "/" + tcp::to_string(protocol),
           {{"goodput_mbps", r.goodput_mbps},
@@ -219,7 +232,9 @@ int main() {
            {"ev_fault_loss", static_cast<double>(ev[obs::EventKind::kFaultLoss])},
            {"ev_rto_fired", static_cast<double>(ev[obs::EventKind::kRtoFired])},
            {"ev_probe_enter",
-            static_cast<double>(ev[obs::EventKind::kTrimProbeEnter])}});
+            static_cast<double>(ev[obs::EventKind::kTrimProbeEnter])},
+           {"episodes_diagnosed",
+            static_cast<double>(r.telemetry.episodes.size())}});
     }
     table.print();
     std::printf("\n");

@@ -59,7 +59,7 @@ struct Conn {
 
 ConnectionStormResult run_connection_storm(const ConnectionStormConfig& cfg) {
   validate(cfg);
-  World world;
+  World world{cfg.shards, cfg.scheduler};
 
   topo::TwoTierConfig topo_cfg;
   topo_cfg.num_switches = cfg.num_switches;
@@ -92,6 +92,7 @@ ConnectionStormResult run_connection_storm(const ConnectionStormConfig& cfg) {
   for (std::size_t i = 0; i < clients.size(); ++i) {
     ports.push_back(
         std::make_unique<tcp::PortAllocator>(&world.simulator, cfg.ports));
+    ports.back()->set_telemetry_subject(obs::subject_id(clients[i]->name()));
   }
 
   // Closed-port behavior for straggler segments of reaped connections.
@@ -197,6 +198,11 @@ ConnectionStormResult run_connection_storm(const ConnectionStormConfig& cfg) {
   // Final accounting. Live (un-reaped) connections at the deadline are
   // stuck: report them as an invariant violation so a wedged state
   // machine can never look like a passing run.
+  //
+  // Setup latencies also land in a registry histogram so reports and
+  // benches share one percentile path (obs::percentiles).
+  obs::Histogram* setup_ms =
+      world.telemetry.registry().histogram("conn.setup_ms", 0.0, 500.0, 250);
   for (const auto& c : conns) {
     if (!c->reaped) {
       ++result.stuck_connections;
@@ -213,6 +219,7 @@ ConnectionStormResult run_connection_storm(const ConnectionStormConfig& cfg) {
     if (c->sender_stats.ever_established) {
       ++result.connections_established;
       result.setup_latency_s.push_back(c->sender_stats.setup_latency.to_seconds());
+      setup_ms->observe(c->sender_stats.setup_latency.to_millis());
     }
     if (c->sender_closed) {
       if (c->sender_graceful) ++result.graceful_closes;

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,9 +64,15 @@ int resolve_shards(int requested);
 struct World {
   World();
   explicit World(int shards);
+  // Canonical constructor: `shards` >= 1 wins over TRIM_SHARDS, and a set
+  // `scheduler` overrides the (process-cached) TRIM_SCHEDULER knob — the
+  // lockstep equivalence tests build heap and wheel worlds side by side
+  // in one process through this.
+  World(int shards, std::optional<sim::SchedulerKind> scheduler);
   // Folds this world's event-loop wall time into obs::sweep_profiler()
   // ("sim.run", items = events dispatched), so bench reports break the
-  // clock down into loop time vs. harness time.
+  // clock down into loop time vs. harness time. Also writes the TRACE
+  // file when TRIM_TRACE is enabled.
   ~World();
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -89,10 +96,19 @@ struct World {
   std::uint64_t run() { return engine.run(); }
   std::uint64_t run_until(sim::SimTime until) { return engine.run_until(until); }
 
-  // The deterministic telemetry of this run (metrics + event counts),
-  // merged across shards in shard order, ready to merge across repeats in
-  // submission order.
+  // The deterministic telemetry of this run (metrics + event counts +
+  // diagnosed episodes + spans), merged across shards in shard order,
+  // ready to merge across repeats in submission order. Publishes the
+  // engine's shard-execution gauges (shard.windows, shard.posts_flushed,
+  // shard.events_imbalance, ...) into shard 0's registry first — only
+  // when at least one barrier window ran, so unsharded reports are
+  // unchanged.
   obs::TelemetrySnapshot telemetry_snapshot() const;
+
+ private:
+  void install_engine_observers();
+  void publish_engine_metrics() const;
+  obs::Histogram* window_advance_hist_ = nullptr;  // lazily registered
 };
 
 // Seed for (experiment, run) pairs, stable across processes.

@@ -49,6 +49,13 @@ struct FattreeResult {
   double run_wall_s = 0.0;
   int shards = 1;
 
+  // Shard-execution telemetry (all zero / empty on the serial path);
+  // shard_stall_s is wall-clock, the rest is deterministic.
+  std::uint64_t windows = 0;
+  double events_imbalance = 0.0;       // busiest shard / mean (>= 1 when run)
+  std::vector<double> shard_stall_s;   // [shard] barrier-stall wall time
+  std::vector<std::uint64_t> shard_events;  // [shard] windowed dispatches
+
   // Deterministic run telemetry (metrics + event counts).
   obs::TelemetrySnapshot telemetry;
 };

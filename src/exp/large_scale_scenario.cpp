@@ -103,6 +103,13 @@ LargeScaleResult run_large_scale(const LargeScaleConfig& cfg) {
   result.events_dispatched = world.engine.events_dispatched();
   result.run_wall_s = static_cast<double>(world.engine.elapsed_wall_ns()) * 1e-9;
   result.shards = world.shard_count();
+  result.windows = world.engine.windows_run();
+  result.events_imbalance = world.engine.events_imbalance();
+  for (int i = 0; i < world.shard_count(); ++i) {
+    const auto& st = world.engine.shard_stats(i);
+    result.shard_stall_s.push_back(static_cast<double>(st.stall_wall_ns) * 1e-9);
+    result.shard_events.push_back(st.window_events);
+  }
   return result;
 }
 

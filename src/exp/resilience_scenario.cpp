@@ -131,6 +131,13 @@ ResilienceResult run_resilience(const ResilienceConfig& cfg) {
         sv.retransmits += sv.live.sender->stats().retransmitted_packets;
         const auto& ls = sv.live.sender->lifecycle_stats();
         const auto& lr = sv.live.receiver->lifecycle_stats();
+        if (ls.ever_established) {
+          // Same histogram the storm scenario fills, so benches pull
+          // churn setup percentiles through the one obs::percentiles path.
+          world.telemetry.registry()
+              .histogram("conn.setup_ms", 0.0, 500.0, 250)
+              ->observe(ls.setup_latency.to_millis());
+        }
         sv.syn_retx += ls.syn_retx + lr.synack_retx;
         sv.fin_retx += ls.fin_retx + lr.fin_retx;
         sv.rst_sent += ls.rst_sent + lr.rst_sent;
@@ -213,6 +220,11 @@ ResilienceResult run_resilience(const ResilienceConfig& cfg) {
         s.retransmits += s.live.sender->stats().retransmitted_packets;
         const auto& ls = s.live.sender->lifecycle_stats();
         const auto& lr = s.live.receiver->lifecycle_stats();
+        if (ls.ever_established) {
+          world.telemetry.registry()
+              .histogram("conn.setup_ms", 0.0, 500.0, 250)
+              ->observe(ls.setup_latency.to_millis());
+        }
         s.syn_retx += ls.syn_retx + lr.synack_retx;
         s.fin_retx += ls.fin_retx + lr.fin_retx;
         s.rst_sent += ls.rst_sent + lr.rst_sent;

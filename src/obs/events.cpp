@@ -40,6 +40,11 @@ const char* to_string(EventKind kind) {
     case EventKind::kChallengeAck: return "conn.challenge_ack";
     case EventKind::kBacklogDrop: return "conn.backlog_drop";
     case EventKind::kPortExhausted: return "conn.port_exhausted";
+    case EventKind::kConnTimeWaitEnter: return "conn.time_wait_enter";
+    case EventKind::kConnTimeWaitExpire: return "conn.time_wait_expire";
+    case EventKind::kPortExhaustedEnd: return "conn.port_exhausted_end";
+    case EventKind::kShardWindowAdvance: return "shard.window_advance";
+    case EventKind::kShardMailboxFlush: return "shard.mailbox_flush";
   }
   return "?";
 }

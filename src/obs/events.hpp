@@ -67,10 +67,29 @@ enum class EventKind : std::uint8_t {
   kChallengeAck,       // SYN into an established connection, acked not reset
   kBacklogDrop,        // a = occupancy, b = 1 RST policy / 0 drop policy
   kPortExhausted,      // a = ports held in TIME_WAIT; subject = host name id
+
+  // Diagnosis-layer additions, appended after the lifecycle vocabulary.
+  kConnTimeWaitEnter,  // a = configured TIME_WAIT dwell seconds
+  kConnTimeWaitExpire, // the TIME_WAIT timer ran out; the 4-tuple is free
+  kPortExhaustedEnd,   // a = failed allocations in the ended episode;
+                       //     subject = host name id (see PortAllocator)
+  kShardWindowAdvance, // a = window end seconds, b = width beyond the
+                       //     earliest pending event; subject = 0
+  kShardMailboxFlush,  // subject = (src shard << 8) | dst shard,
+                       //     a = posts flushed, b = src shard
 };
 
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kPortExhausted) + 1;
+    static_cast<std::size_t>(EventKind::kShardMailboxFlush) + 1;
+
+// The sink-dispatch fast path in obs::Telemetry keys per-kind interest off
+// one 64-bit mask; growing past 64 kinds needs a wider mask first.
+static_assert(kEventKindCount <= 64, "EventKind mask must stay 64-bit");
+
+// Per-kind bit for building sink-interest masks.
+constexpr std::uint64_t kind_bit(EventKind k) {
+  return std::uint64_t{1} << static_cast<unsigned>(k);
+}
 
 // Stable dotted name, e.g. "trim.probe_enter" — the `kind` field of the
 // JSONL schema and the key used in run-report event counts.
@@ -85,6 +104,17 @@ struct RecordedEvent {
   double a = 0.0;
   double b = 0.0;
 };
+
+// Receiver-endpoint subject: the passive side of a connection shares the
+// sender's flow id but runs its own state machine (its own ESTABLISHED,
+// TIME_WAIT, CLOSED transitions, possibly on a different engine shard).
+// The high bit marks its lifecycle events so per-subject consumers — the
+// span tracer above all — see two independent endpoint streams and
+// assemble identical spans at any TRIM_SHARDS width.
+inline constexpr std::uint32_t kRxFlowBit = 0x8000'0000u;
+constexpr std::uint32_t rx_subject(std::uint32_t flow) {
+  return flow | kRxFlowBit;
+}
 
 // Stable 32-bit subject id for named entities (links, queues): FNV-1a.
 // Depends only on the name, so ids are identical across runs, processes,

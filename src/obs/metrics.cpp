@@ -20,6 +20,7 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void Histogram::observe(double v) {
   ++count_;
   sum_ += v;
+  if (count_ == 1 || v > max_) max_ = v;
   if (v < lo_) {
     ++underflow_;
   } else if (v >= hi_) {
@@ -75,7 +76,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   snap.histograms.reserve(histogram_index_.size());
   for (const auto& [name, h] : histogram_index_) {
     snap.histograms.push_back({name, h->lo(), h->hi(), h->bins_, h->underflow(),
-                               h->overflow(), h->count(), h->sum()});
+                               h->overflow(), h->count(), h->sum(),
+                               h->max_value()});
   }
   return snap;
 }
@@ -126,6 +128,7 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
                  a.overflow += b.overflow;
                  a.count += b.count;
                  a.sum += b.sum;
+                 a.max = std::max(a.max, b.max);
                });
 }
 
@@ -187,6 +190,7 @@ std::string MetricsSnapshot::to_json(int indent, int depth) const {
     pad(out, in2);
     out += "\"" + h.name + "\": {\"lo\": " + num(h.lo) + ", \"hi\": " + num(h.hi) +
            ", \"count\": " + num(h.count) + ", \"sum\": " + num(h.sum) +
+           ", \"max\": " + num(h.max) +
            ", \"underflow\": " + num(h.underflow) +
            ", \"overflow\": " + num(h.overflow) + ", \"bins\": [";
     for (std::size_t k = 0; k < h.bins.size(); ++k) {
@@ -204,6 +208,72 @@ std::string MetricsSnapshot::to_json(int indent, int depth) const {
   pad(out, base);
   out += "}";
   return out;
+}
+
+namespace {
+
+// Nearest-rank quantile with linear interpolation inside the covering
+// bin. Ranks landing in the underflow region resolve to `lo` (the best
+// bound the histogram has); ranks in the overflow region resolve to the
+// exact tracked max.
+double quantile_of(const HistogramSample& h, double q) {
+  if (h.count == 0) return 0.0;
+  const double width =
+      (h.hi - h.lo) / static_cast<double>(h.bins.empty() ? 1 : h.bins.size());
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(h.count) + 0.5);
+  if (rank < 1) rank = 1;
+  if (rank > h.count) rank = h.count;
+  if (rank <= h.underflow) return h.lo;
+  std::uint64_t cum = h.underflow;
+  for (std::size_t i = 0; i < h.bins.size(); ++i) {
+    const std::uint64_t n = h.bins[i];
+    if (rank <= cum + n) {
+      const double frac =
+          n == 0 ? 1.0
+                 : static_cast<double>(rank - cum) / static_cast<double>(n);
+      const double v = h.lo + (static_cast<double>(i) + frac) * width;
+      // Never report beyond the exact max (a lone sample early in a wide
+      // bin would otherwise round up to the bin edge past it).
+      return h.max > 0.0 ? std::min(v, h.max) : v;
+    }
+    cum += n;
+  }
+  return h.max;  // overflow region
+}
+
+}  // namespace
+
+Percentiles percentiles(const HistogramSample& h) {
+  Percentiles p;
+  if (h.count == 0) return p;
+  p.p50 = quantile_of(h, 0.50);
+  p.p90 = quantile_of(h, 0.90);
+  p.p99 = quantile_of(h, 0.99);
+  p.max = h.max;
+  return p;
+}
+
+Percentiles percentiles(const Histogram& h) {
+  HistogramSample s;
+  s.lo = h.lo();
+  s.hi = h.hi();
+  s.bins.reserve(h.bin_count());
+  for (std::size_t i = 0; i < h.bin_count(); ++i) s.bins.push_back(h.bin(i));
+  s.underflow = h.underflow();
+  s.overflow = h.overflow();
+  s.count = h.count();
+  s.sum = h.sum();
+  s.max = h.max_value();
+  return percentiles(s);
+}
+
+const HistogramSample* find_histogram(const MetricsSnapshot& snapshot,
+                                      std::string_view name) {
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
 }
 
 std::string maybe_write_metrics_csv(const std::string& name,

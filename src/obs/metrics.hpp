@@ -51,6 +51,9 @@ class Histogram {
   std::uint64_t overflow() const { return overflow_; }
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
+  // Largest observed value (0 before any observation), tracked exactly so
+  // percentile extraction can report a true max, not a bin edge.
+  double max_value() const { return count_ > 0 ? max_ : 0.0; }
 
  private:
   friend class MetricsRegistry;
@@ -58,6 +61,7 @@ class Histogram {
   std::vector<std::uint64_t> bins_;
   std::uint64_t underflow_ = 0, overflow_ = 0, count_ = 0;
   double sum_ = 0.0;
+  double max_ = 0.0;
 };
 
 // ---- snapshot: plain data, sorted by name, mergeable ----
@@ -78,6 +82,7 @@ struct HistogramSample {
   std::vector<std::uint64_t> bins;
   std::uint64_t underflow = 0, overflow = 0, count = 0;
   double sum = 0.0;
+  double max = 0.0;  // exact largest observation (0 when count == 0)
 };
 
 struct MetricsSnapshot {
@@ -98,6 +103,26 @@ struct MetricsSnapshot {
   // indented by `indent` spaces per level starting at `depth`.
   std::string to_json(int indent = 2, int depth = 0) const;
 };
+
+/// The headline quantiles of one histogram: p50/p90/p99 are interpolated
+// linearly inside the covering bin (underflow resolves to `lo`, overflow
+// to the exact max); `max` is the exactly-tracked largest observation.
+// This is the one latency-summary shape benches print, replacing each
+// bench's hand-rolled CDF math.
+struct Percentiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+Percentiles percentiles(const HistogramSample& h);
+Percentiles percentiles(const Histogram& h);
+
+// The sample named `name` in a snapshot, or nullptr. Benches use this to
+// pull a scenario-recorded latency histogram out of merged telemetry.
+const HistogramSample* find_histogram(const MetricsSnapshot& snapshot,
+                                      std::string_view name);
 
 class MetricsRegistry {
  public:

@@ -35,7 +35,9 @@ bool quick_env() {
   return env != nullptr && env[0] == '1';
 }
 
-std::string report_dir() {
+}  // namespace
+
+std::string report_output_dir() {
   if (const char* env = std::getenv("REPORT_JSON_DIR")) return env;
   if (const char* env = std::getenv("BENCH_JSON_DIR")) return env;
   // Default next to the BENCH_*.json artifacts: a gitignored output
@@ -43,10 +45,14 @@ std::string report_dir() {
   return "bench_out";
 }
 
-}  // namespace
-
 void RunReport::add_flow(FlowSummary flow) {
   if (flows_.size() >= kMaxFlows) {
+    if (flows_truncated_ == 0) {
+      sim::log_message(sim::LogLevel::kWarn, 0.0,
+                       "run report %s: per-flow summaries capped at %zu; "
+                       "further flows are counted in flows_truncated",
+                       name_.c_str(), kMaxFlows);
+    }
     ++flows_truncated_;
     return;
   }
@@ -80,6 +86,13 @@ std::string RunReport::to_json() const {
            "\": " + num(n);
   }
   out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"episodes\": [";
+  for (std::size_t i = 0; i < telemetry_.episodes.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_episode_json(out, telemetry_.episodes[i]);
+  }
+  out += telemetry_.episodes.empty() ? "],\n" : "\n  ],\n";
 
   out += "  \"flows_truncated\": " + num(static_cast<std::uint64_t>(flows_truncated_)) + ",\n";
   out += "  \"flows\": [";
@@ -122,7 +135,7 @@ std::string RunReport::to_json() const {
 }
 
 std::string RunReport::write() const {
-  const std::string dir = report_dir();
+  const std::string dir = report_output_dir();
   ::mkdir(dir.c_str(), 0755);  // EEXIST is fine; open errors handled below
   const std::string path = dir + "/REPORT_" + name_ + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");

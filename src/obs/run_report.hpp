@@ -87,4 +87,9 @@ class RunReport {
   std::vector<Row> rows_;
 };
 
+// Where report-shaped artifacts land: $REPORT_JSON_DIR, else
+// $BENCH_JSON_DIR, else "bench_out". Shared with the TRIM_TRACE export
+// (trace_export.hpp) so traces sit next to the reports they explain.
+std::string report_output_dir();
+
 }  // namespace trim::obs

@@ -1,0 +1,63 @@
+// Trace file export and conversion.
+//
+// Runtime side (TRIM_TRACE knob): when tracing is enabled, exp::World
+// writes one TRACE_<name>_<seq>.jsonl per telemetry bundle at teardown,
+// containing the tracer's span lines (span_tracer.hpp schema) followed by
+// the flight-recorder ring's event lines (events.hpp schema). The knob:
+//   unset / "0"  tracing off (the default; zero overhead)
+//   "1"          write next to REPORT_*.json (report_output_dir())
+//   <path>       write into <path>
+//
+// Offline side (tools/trim_trace): parse_trace_jsonl() reads those files
+// back (tolerant, hand-rolled — no JSON dependency) and to_chrome_trace()
+// converts them to Chrome trace-event JSON loadable in Perfetto or
+// chrome://tracing — spans become "X" complete events on tid = flow id,
+// ring events become "i" instants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace trim::obs {
+
+// TRIM_TRACE, read fresh on every call (tests flip it mid-process).
+bool trace_enabled();
+std::string trace_dir();
+
+// Writes TRACE_<name>_<seq>.jsonl (seq = atomic per-process counter, so
+// multi-bundle worlds and repeated runs never clobber each other) into
+// trace_dir(). Returns the path, or "" on failure (warned, never fatal).
+std::string write_trace_jsonl(const std::string& name, const std::string& body);
+
+// One parsed JSONL line; `is_span` selects which fields are meaningful.
+struct TraceLine {
+  bool is_span = false;
+  // Span fields (span_tracer.hpp).
+  std::string span;
+  std::uint32_t id = 0;
+  std::uint32_t parent = 0;
+  std::uint32_t flow = 0;
+  double t0 = 0.0, t1 = 0.0;
+  bool complete = false;
+  // Event fields (events.hpp).
+  std::string kind;
+  std::uint32_t subject = 0;
+  double t = 0.0;
+  // Shared payload.
+  double a = 0.0, b = 0.0;
+};
+
+// Parses trace JSONL; unparseable lines are skipped (count them by
+// comparing line totals if needed).
+std::vector<TraceLine> parse_trace_jsonl(std::string_view text);
+
+// Chrome trace-event JSON for one or more parsed trace files. Each file
+// becomes one pid (with a process_name metadata record naming it); tid is
+// the flow id, so Perfetto groups a flow's spans onto one track.
+std::string to_chrome_trace(
+    const std::vector<std::pair<std::string, std::vector<TraceLine>>>& docs);
+
+}  // namespace trim::obs

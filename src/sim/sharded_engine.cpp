@@ -25,6 +25,7 @@ ShardedEngine::ShardedEngine(int shards, SchedulerKind kind) {
     shards_.push_back(std::make_unique<Simulator>(kind));
   }
   mail_.resize(static_cast<std::size_t>(shards) * static_cast<std::size_t>(shards));
+  shard_stats_.resize(static_cast<std::size_t>(shards));
 }
 
 void ShardedEngine::note_cut_link(SimTime prop_delay) {
@@ -50,12 +51,20 @@ void ShardedEngine::flush_mailboxes() {
   const int n = shard_count();
   for (int dst = 0; dst < n; ++dst) {
     for (int src = 0; src < n; ++src) {
-      auto& box = mail_[mailbox_index(src, dst)].posts;
-      for (auto& entry : box) {
+      Mailbox& box = mail_[mailbox_index(src, dst)];
+      if (box.posts.empty()) continue;
+      for (auto& entry : box.posts) {
         shards_[static_cast<std::size_t>(dst)]->schedule_at(entry.due,
                                                             std::move(entry.cb));
       }
-      box.clear();  // keeps capacity; steady state allocates nothing
+      const auto count = static_cast<std::uint64_t>(box.posts.size());
+      box.flushed += count;
+      posts_flushed_ += count;
+      ++flush_batches_;
+      if (flush_observer_) {
+        flush_observer_(src, dst, count, last_window_end_);
+      }
+      box.posts.clear();  // keeps capacity; steady state allocates nothing
     }
   }
 }
@@ -100,6 +109,10 @@ std::uint64_t ShardedEngine::run_windows(SimTime until) {
     // shard's clock. Progress: the shard owning m always dispatches.
     window_end_ = until - m <= lookahead ? until : m + lookahead;
     ++windows_run_;
+    const SimTime advance = window_end_ - m;
+    if (advance > max_window_advance_) max_window_advance_ = advance;
+    last_window_end_ = window_end_;
+    if (window_observer_) window_observer_(window_end_, advance);
   };
 
   done_ = false;
@@ -117,10 +130,13 @@ std::uint64_t ShardedEngine::run_windows(SimTime until) {
 
     auto worker = [this, &sync](int shard_index) {
       Simulator& sim = *shards_[static_cast<std::size_t>(shard_index)];
+      ShardStats& stats = shard_stats_[static_cast<std::size_t>(shard_index)];
       while (true) {
         if (failed_shard_.load(std::memory_order_relaxed) < 0) {
           try {
+            const std::uint64_t before = sim.events_dispatched();
             sim.run_until(window_end_);
+            stats.window_events += sim.events_dispatched() - before;
           } catch (...) {
             // Record the fault but keep arriving at the barrier: the other
             // workers must not be left waiting on a phase that never
@@ -133,7 +149,12 @@ std::uint64_t ShardedEngine::run_windows(SimTime until) {
             }
           }
         }
+        const auto stall_start = std::chrono::steady_clock::now();
         sync.arrive_and_wait();
+        stats.stall_wall_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - stall_start)
+                .count());
         if (done_) break;
       }
     };
@@ -169,6 +190,19 @@ std::size_t ShardedEngine::pending_events() const {
   for (const auto& s : shards_) n += s->pending_events();
   for (const auto& box : mail_) n += box.posts.size();
   return n;
+}
+
+double ShardedEngine::events_imbalance() const {
+  std::uint64_t total = 0;
+  std::uint64_t busiest = 0;
+  for (const auto& s : shard_stats_) {
+    total += s.window_events;
+    busiest = std::max(busiest, s.window_events);
+  }
+  if (total == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(shard_stats_.size());
+  return static_cast<double>(busiest) / mean;
 }
 
 std::uint64_t ShardedEngine::run_wall_ns() const {

@@ -103,6 +103,50 @@ class ShardedEngine {
   // path); the scaling bench reports sync overhead from this.
   std::uint64_t windows_run() const { return windows_run_; }
 
+  // ---- Shard-execution telemetry ----
+  //
+  // The engine lives below trim_obs, so it keeps plain counters here and
+  // lets exp::World (which owns both) install observers that forward into
+  // the flight recorder / metrics registry. Everything in this block is
+  // either deterministic (events, posts, window widths) or explicitly
+  // wall-clock (stall times) — callers must keep the latter out of
+  // deterministic report sections.
+
+  // Per-shard execution accounting for windowed (parallel) runs; all
+  // zeros on the serial path. One cache line per shard: the owning worker
+  // thread is the only writer during a run.
+  struct alignas(64) ShardStats {
+    std::uint64_t window_events = 0;   // events dispatched inside windows
+    std::uint64_t stall_wall_ns = 0;   // wall time blocked at the barrier
+  };
+  const ShardStats& shard_stats(int i) const {
+    return shard_stats_[static_cast<std::size_t>(i)];
+  }
+
+  // Cross-shard traffic totals (deterministic).
+  std::uint64_t posts_flushed() const { return posts_flushed_; }
+  std::uint64_t flush_batches() const { return flush_batches_; }
+  // Widest window planned so far, measured beyond the earliest pending
+  // event (<= lookahead by construction; deterministic).
+  SimTime max_window_advance() const { return max_window_advance_; }
+
+  // Ratio of the busiest shard's windowed event count to the mean
+  // (>= 1.0; 1.0 = perfectly balanced, 0.0 before any windowed run).
+  double events_imbalance() const;
+
+  // Observers, called only between windows (single-threaded, inside the
+  // barrier completion step): the window observer after each plan with
+  // (window end, advance beyond the earliest event); the flush observer
+  // once per nonempty (src, dst) mailbox with the post count and the time
+  // of the window boundary being flushed. Must not throw.
+  void set_window_observer(InlineFunction<void(SimTime, SimTime)> cb) {
+    window_observer_ = std::move(cb);
+  }
+  void set_flush_observer(
+      InlineFunction<void(int, int, std::uint64_t, SimTime)> cb) {
+    flush_observer_ = std::move(cb);
+  }
+
   // TRIM_SHARDS env knob: unset / empty / <= 1 -> 1; values are clamped
   // to [1, 256]. Parsed once per process and cached.
   static int shards_from_env();
@@ -118,6 +162,7 @@ class ShardedEngine {
   // (size pointer) is exactly what push_back mutates.
   struct alignas(64) Mailbox {
     std::vector<Posted> posts;
+    std::uint64_t flushed = 0;  // cumulative posts drained at barriers
   };
   static_assert(alignof(Mailbox) == 64, "mailbox false-sharing pad");
 
@@ -135,10 +180,17 @@ class ShardedEngine {
 
   std::vector<std::unique_ptr<Simulator>> shards_;
   std::vector<Mailbox> mail_;  // [src * n + dst]
+  std::vector<ShardStats> shard_stats_;
   SimTime lookahead_ = SimTime::max();
   int cut_links_ = 0;
   std::uint64_t windows_run_ = 0;
   std::uint64_t elapsed_wall_ns_ = 0;
+  std::uint64_t posts_flushed_ = 0;
+  std::uint64_t flush_batches_ = 0;
+  SimTime max_window_advance_;
+  SimTime last_window_end_;  // the flush timestamp handed to observers
+  InlineFunction<void(SimTime, SimTime)> window_observer_;
+  InlineFunction<void(int, int, std::uint64_t, SimTime)> flush_observer_;
 
   // Window-loop shared state; written by the barrier completion step only,
   // read by workers after the barrier (the phase transition orders both).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
 #include "sim/config_error.hpp"
 #include "sim/simulator.hpp"
 
@@ -45,7 +46,11 @@ std::optional<int> PortAllocator::allocate() {
   if (free_.empty()) reclaim_expired();
   if (free_.empty()) {
     ++stats_.failed_allocations;
-    if (!last_failed_) ++stats_.exhaustion_episodes;
+    if (!last_failed_) {
+      ++stats_.exhaustion_episodes;
+      episode_failures_ = 0;
+    }
+    ++episode_failures_;
     last_failed_ = true;
     return std::nullopt;
   }
@@ -53,6 +58,13 @@ std::optional<int> PortAllocator::allocate() {
   free_.pop_back();
   ++in_use_;
   ++stats_.allocations;
+  if (last_failed_) {
+    // Edge exit: the exhaustion episode that began at the first failed
+    // allocate() ends with this success.
+    obs::emit(sim_, obs::EventKind::kPortExhaustedEnd, subject_,
+              static_cast<double>(episode_failures_));
+    episode_failures_ = 0;
+  }
   last_failed_ = false;
   return port;
 }

@@ -59,6 +59,11 @@ class PortAllocator {
   };
   const Stats& stats() const { return stats_; }
 
+  // Telemetry subject for this allocator's kPortExhaustedEnd events
+  // (conventionally obs::subject_id(host name)); 0 until set, which still
+  // emits — the host association is just lost.
+  void set_telemetry_subject(std::uint32_t subject) { subject_ = subject; }
+
  private:
   void reclaim_expired();
 
@@ -72,6 +77,8 @@ class PortAllocator {
   std::vector<Held> held_;
   int in_use_ = 0;
   bool last_failed_ = false;
+  std::uint64_t episode_failures_ = 0;  // failures in the current run
+  std::uint32_t subject_ = 0;
   Stats stats_;
 };
 

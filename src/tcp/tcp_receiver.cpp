@@ -156,7 +156,10 @@ void TcpReceiver::handle_syn(const net::Packet& p) {
       syn_seen_at_ = sim_->now();
       ++lstats_.synack_sent;
       retx_count_ = 0;
-      obs::emit(sim_, obs::EventKind::kConnSynSent, flow_, /*a=*/1.0);
+      // Lifecycle events carry the rx-endpoint subject (events.hpp): the
+      // passive side is its own state machine for the span tracer.
+      obs::emit(sim_, obs::EventKind::kConnSynSent, obs::rx_subject(flow_),
+                /*a=*/1.0);
       send_synack(p.ts);
       arm_ctrl_retx();
       return;
@@ -250,7 +253,7 @@ void TcpReceiver::become_established() {
   if (listen_queue_ != nullptr) listen_queue_->on_established(flow_);
   lstats_.ever_established = true;
   lstats_.setup_latency = sim_->now() - syn_seen_at_;
-  obs::emit(sim_, obs::EventKind::kConnEstablished, flow_,
+  obs::emit(sim_, obs::EventKind::kConnEstablished, obs::rx_subject(flow_),
             lstats_.setup_latency.to_seconds(),
             static_cast<double>(lstats_.synack_retx));
 }
@@ -376,9 +379,14 @@ void TcpReceiver::close() {
 void TcpReceiver::enter_time_wait() {
   cancel_ctrl_retx();
   set_conn_state(ConnState::kTimeWait);
+  obs::emit(sim_, obs::EventKind::kConnTimeWaitEnter, obs::rx_subject(flow_),
+            cfg_.lifecycle.time_wait.to_seconds());
   if (time_wait_timer_.valid()) sim_->cancel(time_wait_timer_);
-  time_wait_timer_ = sim_->schedule(cfg_.lifecycle.time_wait,
-                                    [this] { finish_closed(true); });
+  time_wait_timer_ = sim_->schedule(cfg_.lifecycle.time_wait, [this] {
+    obs::emit(sim_, obs::EventKind::kConnTimeWaitExpire,
+              obs::rx_subject(flow_));
+    finish_closed(true);
+  });
 }
 
 void TcpReceiver::finish_closed(bool graceful) {
@@ -388,8 +396,8 @@ void TcpReceiver::finish_closed(bool graceful) {
     time_wait_timer_ = sim::EventId{};
   }
   lstats_.graceful_close = graceful;
-  obs::emit(sim_, obs::EventKind::kConnClosed, flow_, graceful ? 1.0 : 0.0,
-            static_cast<double>(conn_));
+  obs::emit(sim_, obs::EventKind::kConnClosed, obs::rx_subject(flow_),
+            graceful ? 1.0 : 0.0, static_cast<double>(conn_));
   set_conn_state(ConnState::kClosed);
   for (const auto& cb : on_closed_) cb(graceful, sim_->now());
 }

@@ -318,9 +318,13 @@ void TcpSender::handle_rst_received() {
 void TcpSender::enter_time_wait() {
   cancel_rto();
   set_conn_state(ConnState::kTimeWait);
+  obs::emit(sim_, obs::EventKind::kConnTimeWaitEnter, flow_,
+            cfg_.lifecycle.time_wait.to_seconds());
   if (time_wait_timer_.valid()) sim_->cancel(time_wait_timer_);
-  time_wait_timer_ = sim_->schedule(cfg_.lifecycle.time_wait,
-                                    [this] { finish_closed(true); });
+  time_wait_timer_ = sim_->schedule(cfg_.lifecycle.time_wait, [this] {
+    obs::emit(sim_, obs::EventKind::kConnTimeWaitExpire, flow_);
+    finish_closed(true);
+  });
 }
 
 void TcpSender::finish_closed(bool graceful) {

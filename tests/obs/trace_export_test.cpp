@@ -1,0 +1,180 @@
+// Trace export: the TRIM_TRACE knob, TRACE_*.jsonl file writing, the
+// JSONL parser round-trip, and the Chrome trace-event conversion that
+// tools/trim_trace performs.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/span_tracer.hpp"
+#include "obs/trace_export.hpp"
+
+namespace trim::obs {
+namespace {
+
+class TraceEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (const char* old = std::getenv("TRIM_TRACE")) saved_ = old;
+    unsetenv("TRIM_TRACE");
+  }
+  void TearDown() override {
+    if (saved_.empty()) {
+      unsetenv("TRIM_TRACE");
+    } else {
+      setenv("TRIM_TRACE", saved_.c_str(), 1);
+    }
+  }
+
+ private:
+  std::string saved_;
+};
+
+TEST_F(TraceEnvTest, KnobParsing) {
+  EXPECT_FALSE(trace_enabled());  // unset
+  setenv("TRIM_TRACE", "0", 1);
+  EXPECT_FALSE(trace_enabled());
+  setenv("TRIM_TRACE", "", 1);
+  EXPECT_FALSE(trace_enabled());
+  setenv("TRIM_TRACE", "1", 1);
+  EXPECT_TRUE(trace_enabled());
+  setenv("TRIM_TRACE", "/tmp/somewhere", 1);
+  EXPECT_TRUE(trace_enabled());
+  EXPECT_EQ(trace_dir(), "/tmp/somewhere");
+}
+
+TEST_F(TraceEnvTest, WriteCreatesSequencedFilesInTraceDir) {
+  char tmpl[] = "/tmp/trim_trace_test_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = std::string{tmpl} + "/traces";  // not yet created
+  setenv("TRIM_TRACE", dir.c_str(), 1);
+
+  const std::string p1 = write_trace_jsonl("shard0", "line one\n");
+  const std::string p2 = write_trace_jsonl("shard1", "line two\n");
+  ASSERT_FALSE(p1.empty());
+  ASSERT_FALSE(p2.empty());
+  EXPECT_EQ(p1.rfind(dir + "/TRACE_shard0_", 0), 0u) << p1;
+  EXPECT_NE(p1, p2);
+
+  std::FILE* f = std::fopen(p1.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  std::fclose(f);
+  EXPECT_STREQ(buf, "line one\n");
+
+  // Cleanup (ignore failures — /tmp is scratch).
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+  rmdir(dir.c_str());
+  rmdir(tmpl);
+}
+
+TEST(TraceParse, SpanAndEventLinesRoundTrip) {
+  std::string body;
+  Span s;
+  s.id = 3;
+  s.parent = 1;
+  s.kind = SpanKind::kProbe;
+  s.flow = 7;
+  s.begin = sim::SimTime::millis(250);
+  s.end = sim::SimTime::millis(300);
+  s.a = 10.0;
+  s.b = 6.5;
+  s.complete = true;
+  append_span_jsonl(body, s);
+  body += "{\"kind\":\"rto_fired\",\"t\":0.125,\"subject\":9,"
+          "\"a\":2,\"b\":144}\n";
+  body += "\n";                     // blank lines are skipped
+  body += "{\"unrelated\":true}\n"; // unknown lines are skipped
+
+  const std::vector<TraceLine> lines = parse_trace_jsonl(body);
+  ASSERT_EQ(lines.size(), 2u);
+
+  ASSERT_TRUE(lines[0].is_span);
+  EXPECT_EQ(lines[0].span, "probe");
+  EXPECT_EQ(lines[0].id, 3u);
+  EXPECT_EQ(lines[0].parent, 1u);
+  EXPECT_EQ(lines[0].flow, 7u);
+  EXPECT_DOUBLE_EQ(lines[0].t0, 0.25);
+  EXPECT_DOUBLE_EQ(lines[0].t1, 0.30);
+  EXPECT_DOUBLE_EQ(lines[0].a, 10.0);
+  EXPECT_DOUBLE_EQ(lines[0].b, 6.5);
+  EXPECT_TRUE(lines[0].complete);
+
+  ASSERT_FALSE(lines[1].is_span);
+  EXPECT_EQ(lines[1].kind, "rto_fired");
+  EXPECT_DOUBLE_EQ(lines[1].t, 0.125);
+  EXPECT_EQ(lines[1].subject, 9u);
+  EXPECT_DOUBLE_EQ(lines[1].a, 2.0);
+  EXPECT_DOUBLE_EQ(lines[1].b, 144.0);
+}
+
+TEST(ChromeTrace, SpansBecomeDurationsAndEventsInstants) {
+  TraceLine span;
+  span.is_span = true;
+  span.span = "handshake";
+  span.id = 2;
+  span.parent = 1;
+  span.flow = 5;
+  span.t0 = 0.001;
+  span.t1 = 0.003;
+  span.complete = true;
+  TraceLine inst;
+  inst.is_span = false;
+  inst.kind = "backlog_drop";
+  inst.subject = 42;
+  inst.t = 0.002;
+  inst.b = 1.0;
+
+  const std::string out =
+      to_chrome_trace({{"shard0", {span}}, {"shard1", {inst}}});
+
+  // Top-level schema the trim_trace CI smoke validates too.
+  EXPECT_EQ(out.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(out.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // One process per input document, named after it.
+  EXPECT_NE(out.find("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+                     "\"args\":{\"name\":\"shard0\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"args\":{\"name\":\"shard1\"}"), std::string::npos);
+  // The span: a complete "X" slice on tid = flow, microsecond units.
+  EXPECT_NE(out.find("\"name\":\"handshake\",\"cat\":\"span\",\"ph\":\"X\","
+                     "\"ts\":1000,\"dur\":2000,\"pid\":0,\"tid\":5"),
+            std::string::npos);
+  // The event: an instant on tid = subject in the second process.
+  EXPECT_NE(out.find("\"name\":\"backlog_drop\",\"cat\":\"event\","
+                     "\"ph\":\"i\",\"s\":\"t\",\"ts\":2000,\"pid\":1,"
+                     "\"tid\":42"),
+            std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyInputStillYieldsValidSchema) {
+  const std::string out = to_chrome_trace({});
+  EXPECT_EQ(out.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(out.find("],\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+}
+
+TEST(ChromeTrace, TracerJsonlSurvivesTheFullPipeline) {
+  // End-to-end: tracer -> JSONL -> parser -> Chrome trace, the exact
+  // path tools/trim_trace runs over TRACE_*.jsonl files.
+  SpanTracer tracer;
+  const auto at = [](double t) { return sim::SimTime::seconds(t); };
+  tracer.on_event({at(0.10), EventKind::kConnSynSent, 7, 0.0, 0.0});
+  tracer.on_event({at(0.15), EventKind::kConnEstablished, 7, 0.05, 0.0});
+  tracer.on_event({at(0.90), EventKind::kConnClosed, 7, 1.0, 0.0});
+
+  const std::vector<TraceLine> lines = parse_trace_jsonl(tracer.to_jsonl());
+  ASSERT_EQ(lines.size(), tracer.spans().size());
+  const std::string chrome = to_chrome_trace({{"run", lines}});
+  EXPECT_NE(chrome.find("\"name\":\"connection\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"handshake\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"slow_start\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trim::obs

@@ -1,0 +1,100 @@
+// trim_trace — convert TRACE_*.jsonl flight-recorder/span dumps into one
+// Chrome trace-event JSON file loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// Usage:
+//   trim_trace [-o OUT.json] TRACE_a.jsonl [TRACE_b.jsonl ...]
+//
+// Each input file becomes one process (pid) in the trace, named after the
+// file; per-flow spans land on tid = flow id so a flow's lifecycle
+// (handshake -> slow-start -> probe/RTO episodes -> time-wait) reads as one
+// track. Writes to stdout when -o is omitted.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_export.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+// "bench_out/TRACE_shard0_3.jsonl" -> "TRACE_shard0_3" (the pid label).
+std::string basename_no_ext(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base.resize(dot);
+  return base;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-o OUT.json] TRACE_a.jsonl [TRACE_b.jsonl ...]\n"
+               "Converts TRIM_TRACE dumps to Chrome trace-event JSON "
+               "(open in Perfetto or chrome://tracing).\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = nullptr;
+  std::vector<const char*> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "-h") == 0 ||
+               std::strcmp(argv[i], "--help") == 0) {
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  std::vector<std::pair<std::string, std::vector<trim::obs::TraceLine>>> docs;
+  std::size_t total_lines = 0;
+  for (const char* path : inputs) {
+    std::string text;
+    if (!read_file(path, &text)) {
+      std::fprintf(stderr, "trim_trace: cannot read %s\n", path);
+      return 1;
+    }
+    auto lines = trim::obs::parse_trace_jsonl(text);
+    total_lines += lines.size();
+    docs.emplace_back(basename_no_ext(path), std::move(lines));
+  }
+  if (total_lines == 0) {
+    std::fprintf(stderr, "trim_trace: no parseable span/event lines in %zu "
+                 "input file(s)\n", docs.size());
+    return 1;
+  }
+
+  const std::string json = trim::obs::to_chrome_trace(docs);
+  std::FILE* out = out_path != nullptr ? std::fopen(out_path, "w") : stdout;
+  if (out == nullptr) {
+    std::fprintf(stderr, "trim_trace: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  if (out != stdout) {
+    std::fclose(out);
+    std::fprintf(stderr, "trim_trace: wrote %s (%zu files, %zu lines)\n",
+                 out_path, docs.size(), total_lines);
+  }
+  return 0;
+}
