@@ -18,7 +18,7 @@ FattreeResult run_fattree(const FattreeConfig& cfg) {
   require(cfg.run_until > cfg.big_start && cfg.big_start > cfg.small_start,
           "bad schedule", "FattreeConfig::small_start/big_start/run_until",
           "small_start < big_start < run_until");
-  World world{cfg.shards};
+  World world{cfg.shards, std::nullopt, cfg.sync_mode};
   InvariantScope inv{world, cfg.run_until};
   sim::Rng rng{cfg.seed};
 
@@ -91,6 +91,7 @@ FattreeResult run_fattree(const FattreeConfig& cfg) {
   result.run_wall_s = static_cast<double>(world.engine.elapsed_wall_ns()) * 1e-9;
   result.shards = world.shard_count();
   result.windows = world.engine.windows_run();
+  result.windows_skipped = world.engine.windows_skipped();
   result.events_imbalance = world.engine.events_imbalance();
   for (int i = 0; i < world.shard_count(); ++i) {
     const auto& st = world.engine.shard_stats(i);

@@ -22,7 +22,7 @@ LargeScaleResult run_large_scale(const LargeScaleConfig& cfg) {
           "LargeScaleConfig::lpt_servers_per_switch", "[0, servers_per_switch]");
   require(cfg.spt_window > sim::SimTime::zero(), "empty SPT window",
           "LargeScaleConfig::spt_window", "> 0");
-  World world{cfg.shards};
+  World world{cfg.shards, std::nullopt, cfg.sync_mode};
   InvariantScope inv{world, cfg.spt_window + cfg.drain};
   sim::Rng rng{cfg.seed};
 
@@ -104,6 +104,7 @@ LargeScaleResult run_large_scale(const LargeScaleConfig& cfg) {
   result.run_wall_s = static_cast<double>(world.engine.elapsed_wall_ns()) * 1e-9;
   result.shards = world.shard_count();
   result.windows = world.engine.windows_run();
+  result.windows_skipped = world.engine.windows_skipped();
   result.events_imbalance = world.engine.events_imbalance();
   for (int i = 0; i < world.shard_count(); ++i) {
     const auto& st = world.engine.shard_stats(i);

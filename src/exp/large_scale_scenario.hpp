@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "obs/telemetry.hpp"
+#include "sim/sched_types.hpp"
 #include "sim/time.hpp"
 #include "tcp/tcp_common.hpp"
 
@@ -31,6 +33,9 @@ struct LargeScaleConfig {
   // >1 partitions the two-tier topology across that many cores (the bench
   // sets this explicitly; TRIM_SHARDS=1 keeps the serial engine).
   int shards = 0;
+  // Shard sync protocol: unset defers to TRIM_SHARD_SYNC (the scaling
+  // bench pins both modes explicitly for side-by-side curves).
+  std::optional<sim::SyncMode> sync_mode;
 };
 
 struct LargeScaleResult {
@@ -52,6 +57,7 @@ struct LargeScaleResult {
   // wall-clock (barrier wait per shard) and must stay out of any
   // deterministic report section.
   std::uint64_t windows = 0;
+  std::uint64_t windows_skipped = 0;   // idle-shard fast-path windows (fleet)
   double events_imbalance = 0.0;       // busiest shard / mean (>= 1 when run)
   std::vector<double> shard_stall_s;   // [shard] barrier-stall wall time
   std::vector<std::uint64_t> shard_events;  // [shard] windowed dispatches

@@ -121,7 +121,7 @@ void Network::apply_partition(sim::ShardedEngine& engine,
     const int dst = shard_of_node[links_[i]->peer()->id()];
     links_[i]->rebind_simulator(&engine.shard(src));
     if (src != dst) {
-      engine.note_cut_link(links_[i]->prop_delay());
+      engine.note_cut_link(src, dst, links_[i]->prop_delay());
       links_[i]->set_cross_shard(&engine, src, dst);
     }
   }

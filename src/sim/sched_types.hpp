@@ -54,4 +54,17 @@ SchedulerKind scheduler_kind_from_env();
 
 const char* to_string(SchedulerKind kind);
 
+// How the sharded engine (sim/sharded_engine.hpp) synchronizes its shards.
+enum class SyncMode : std::uint8_t {
+  kGlobal,  // PR 6 protocol: one fleet-wide window m + min-cut lookahead
+  kMatrix,  // per-pair lookahead matrix, per-shard windows, eager delivery
+};
+
+// TRIM_SHARD_SYNC=global|matrix; anything else (including unset) selects
+// the matrix protocol. Parsed once per process and cached, like the
+// scheduler knob: A/B comparisons rebuild the world per mode.
+SyncMode sync_mode_from_env();
+
+const char* to_string(SyncMode mode);
+
 }  // namespace trim::sim

@@ -1,7 +1,6 @@
 #include "sim/sharded_engine.hpp"
 
 #include <algorithm>
-#include <barrier>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
@@ -12,10 +11,97 @@
 
 namespace trim::sim {
 
-ShardedEngine::ShardedEngine(int shards)
-    : ShardedEngine{shards, scheduler_kind_from_env()} {}
+namespace {
 
-ShardedEngine::ShardedEngine(int shards, SchedulerKind kind) {
+// min-plus arithmetic on SimTime: max() is the "no path" element and must
+// absorb addition instead of overflowing the underlying nanosecond count.
+SimTime sat_add(SimTime a, SimTime b) {
+  if (a == SimTime::max() || b == SimTime::max()) return SimTime::max();
+  return a + b;
+}
+
+void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+// Sense-reversing central barrier with an adaptive spin-then-block wait.
+// The last arriver runs the completion step (single-threaded, like
+// std::barrier's completion function), reseeds the count, and opens the
+// next phase with a release store + notify. Waiters poll the phase for a
+// budget that grows while polling succeeds and halves whenever a waiter
+// had to fall back to the futex — so short simulation windows stay in
+// userspace while long or oversubscribed ones park immediately.
+//
+// Ordering: every worker's pre-barrier writes happen-before its
+// fetch_sub on `remaining_` (acq_rel RMW chain), so the last arriver —
+// and therefore the completion step — observes all of them; the
+// completion step's writes happen-before the release store on `phase_`,
+// which every waiter acquire-loads before returning.
+class AdaptiveBarrier {
+ public:
+  AdaptiveBarrier(int n, InlineFunction<void()> completion, bool oversubscribed)
+      : n_{static_cast<std::uint32_t>(n)},
+        remaining_{static_cast<std::uint32_t>(n)},
+        spin_budget_{oversubscribed ? kMinSpin : kInitSpin},
+        completion_{std::move(completion)} {}
+
+  void arrive_and_wait() noexcept {
+    const std::uint64_t phase = phase_.load(std::memory_order_acquire);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      completion_();
+      remaining_.store(n_, std::memory_order_relaxed);
+      phase_.store(phase + 1, std::memory_order_release);
+      phase_.notify_all();
+      return;
+    }
+    std::uint32_t spins = 0;
+    const std::uint32_t budget = spin_budget_.load(std::memory_order_relaxed);
+    while (spins < budget) {
+      if (phase_.load(std::memory_order_acquire) != phase) {
+        // Polling paid off: allow a slightly longer spin next phase.
+        spin_budget_.store(std::min(kMaxSpin, budget + budget / 4 + 1),
+                           std::memory_order_relaxed);
+        return;
+      }
+      cpu_relax();
+      ++spins;
+    }
+    // Budget exhausted: park on the futex and spin less next time.
+    spin_budget_.store(std::max(kMinSpin, budget / 2),
+                       std::memory_order_relaxed);
+    std::uint64_t seen = phase_.load(std::memory_order_acquire);
+    while (seen == phase) {
+      phase_.wait(seen, std::memory_order_acquire);
+      seen = phase_.load(std::memory_order_acquire);
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kMinSpin = 1u << 6;
+  static constexpr std::uint32_t kInitSpin = 1u << 12;
+  static constexpr std::uint32_t kMaxSpin = 1u << 16;
+
+  const std::uint32_t n_;
+  std::atomic<std::uint32_t> remaining_;
+  std::atomic<std::uint64_t> phase_{0};
+  std::atomic<std::uint32_t> spin_budget_;
+  InlineFunction<void()> completion_;
+};
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(int shards)
+    : ShardedEngine{shards, scheduler_kind_from_env(), sync_mode_from_env()} {}
+
+ShardedEngine::ShardedEngine(int shards, SchedulerKind kind)
+    : ShardedEngine{shards, kind, sync_mode_from_env()} {}
+
+ShardedEngine::ShardedEngine(int shards, SchedulerKind kind, SyncMode sync)
+    : sync_mode_{sync} {
   if (shards < 1) {
     throw ConfigError{"shard count must be >= 1", "ShardedEngine", "[1, 256]"};
   }
@@ -24,8 +110,30 @@ ShardedEngine::ShardedEngine(int shards, SchedulerKind kind) {
   for (int i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Simulator>(kind));
   }
-  mail_.resize(static_cast<std::size_t>(shards) * static_cast<std::size_t>(shards));
-  shard_stats_.resize(static_cast<std::size_t>(shards));
+  const auto n = static_cast<std::size_t>(shards);
+  mail_.resize(n * n);
+  shard_stats_.resize(n);
+  pair_lookahead_.assign(n * n, SimTime::max());
+  closed_lookahead_.assign(n * n, SimTime::max());
+  window_end_.resize(n);
+  eit_.resize(n);
+}
+
+void ShardedEngine::note_cut_link(int src, int dst, SimTime prop_delay) {
+  if (prop_delay <= SimTime::zero()) {
+    throw ConfigError{"cut link with zero propagation delay", "ShardedEngine",
+                      "partitions may only split links with prop_delay > 0"};
+  }
+  const int n = shard_count();
+  if (src < 0 || src >= n || dst < 0 || dst >= n || src == dst) {
+    throw ConfigError{"cut link with bad shard pair", "ShardedEngine",
+                      "distinct shard ids in [0, shard_count())"};
+  }
+  SimTime& cell = pair_lookahead_[mailbox_index(src, dst)];
+  cell = std::min(cell, prop_delay);
+  lookahead_ = std::min(lookahead_, prop_delay);
+  ++cut_links_;
+  closure_valid_ = false;
 }
 
 void ShardedEngine::note_cut_link(SimTime prop_delay) {
@@ -33,12 +141,53 @@ void ShardedEngine::note_cut_link(SimTime prop_delay) {
     throw ConfigError{"cut link with zero propagation delay", "ShardedEngine",
                       "partitions may only split links with prop_delay > 0"};
   }
+  const int n = shard_count();
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      SimTime& cell = pair_lookahead_[mailbox_index(src, dst)];
+      cell = std::min(cell, prop_delay);
+    }
+  }
   lookahead_ = std::min(lookahead_, prop_delay);
   ++cut_links_;
+  closure_valid_ = false;
+}
+
+void ShardedEngine::close_over_paths(std::vector<SimTime>& matrix, int n) {
+  const auto idx = [n](int i, int j) {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(j);
+  };
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      const SimTime ik = matrix[idx(i, k)];
+      if (ik == SimTime::max()) continue;
+      for (int j = 0; j < n; ++j) {
+        const SimTime alt = sat_add(ik, matrix[idx(k, j)]);
+        if (alt < matrix[idx(i, j)]) matrix[idx(i, j)] = alt;
+      }
+    }
+  }
+}
+
+void ShardedEngine::ensure_closure() {
+  if (closure_valid_) return;
+  closed_lookahead_ = pair_lookahead_;
+  close_over_paths(closed_lookahead_, shard_count());
+  closure_valid_ = true;
+}
+
+SimTime ShardedEngine::lookahead_between(int src, int dst) {
+  ensure_closure();
+  return closed_lookahead_[mailbox_index(src, dst)];
 }
 
 void ShardedEngine::post(int src, int dst, SimTime due, InlineCallback cb) {
-  mail_[mailbox_index(src, dst)].posts.push_back(Posted{due, std::move(cb)});
+  Mailbox& box = mail_[mailbox_index(src, dst)];
+  box.buf[write_buf_].push_back(Posted{due, std::move(cb)});
+  SimTime& min_due = box.min_due[write_buf_];
+  if (due < min_due) min_due = due;
 }
 
 SimTime ShardedEngine::earliest_event() const {
@@ -47,26 +196,137 @@ SimTime ShardedEngine::earliest_event() const {
   return m;
 }
 
+SimTime ShardedEngine::shard_eit(int s) const {
+  SimTime t = shards_[static_cast<std::size_t>(s)]->next_event_time();
+  const int n = shard_count();
+  for (int src = 0; src < n; ++src) {
+    const Mailbox& box = mail_[mailbox_index(src, s)];
+    t = std::min({t, box.min_due[0], box.min_due[1]});
+  }
+  return t;
+}
+
 void ShardedEngine::flush_mailboxes() {
   const int n = shard_count();
   for (int dst = 0; dst < n; ++dst) {
     for (int src = 0; src < n; ++src) {
       Mailbox& box = mail_[mailbox_index(src, dst)];
-      if (box.posts.empty()) continue;
-      for (auto& entry : box.posts) {
-        shards_[static_cast<std::size_t>(dst)]->schedule_at(entry.due,
-                                                            std::move(entry.cb));
+      std::uint64_t count = 0;
+      // Global mode only ever fills buf[0] (write_buf_ never flips), but
+      // drain both in order so a restarted engine holds no stale mail.
+      for (auto& buf : box.buf) {
+        for (auto& entry : buf) {
+          shards_[static_cast<std::size_t>(dst)]->schedule_at(
+              entry.due, std::move(entry.cb));
+        }
+        count += static_cast<std::uint64_t>(buf.size());
+        buf.clear();  // keeps capacity; steady state allocates nothing
       }
-      const auto count = static_cast<std::uint64_t>(box.posts.size());
+      box.min_due[0] = box.min_due[1] = SimTime::max();
+      if (count == 0) continue;
       box.flushed += count;
       posts_flushed_ += count;
       ++flush_batches_;
       if (flush_observer_) {
         flush_observer_(src, dst, count, last_window_end_);
       }
-      box.posts.clear();  // keeps capacity; steady state allocates nothing
     }
   }
+}
+
+void ShardedEngine::drain_inbox(int dst) {
+  const int read_buf = 1 - write_buf_;
+  const int n = shard_count();
+  Simulator& sim = *shards_[static_cast<std::size_t>(dst)];
+  for (int src = 0; src < n; ++src) {
+    Mailbox& box = mail_[mailbox_index(src, dst)];
+    auto& buf = box.buf[read_buf];
+    if (buf.empty()) continue;
+    for (auto& entry : buf) {
+      sim.schedule_at(entry.due, std::move(entry.cb));
+    }
+    const auto count = static_cast<std::uint64_t>(buf.size());
+    box.flushed += count;
+    box.unreported += count;
+    buf.clear();
+    box.min_due[read_buf] = SimTime::max();
+  }
+}
+
+void ShardedEngine::report_drains() {
+  const int n = shard_count();
+  for (int dst = 0; dst < n; ++dst) {
+    for (int src = 0; src < n; ++src) {
+      Mailbox& box = mail_[mailbox_index(src, dst)];
+      if (box.unreported == 0) continue;
+      posts_flushed_ += box.unreported;
+      ++flush_batches_;
+      if (flush_observer_) {
+        flush_observer_(src, dst, box.unreported, last_window_end_);
+      }
+      box.unreported = 0;
+    }
+  }
+}
+
+void ShardedEngine::plan_global(SimTime until) {
+  flush_mailboxes();
+  const SimTime m = earliest_event();
+  if (m == SimTime::max() || m > until) {
+    done_ = true;
+    return;
+  }
+  // end <= m + lookahead: every cross-shard arrival produced inside the
+  // window is due at >= m + lookahead >= end, i.e. never behind any
+  // shard's clock. Progress: the shard owning m always dispatches.
+  const SimTime end = until - m <= lookahead_ ? until : m + lookahead_;
+  for (auto& w : window_end_) w = end;
+  ++windows_run_;
+  const SimTime advance = end - m;
+  if (advance > max_window_advance_) max_window_advance_ = advance;
+  last_window_end_ = end;
+  if (window_observer_) window_observer_(end, advance);
+}
+
+void ShardedEngine::plan_matrix(SimTime until) {
+  const int n = shard_count();
+  // Account the eager drains the destination workers performed during the
+  // window that just ended — single-threaded here, so the observer stream
+  // stays deterministic — then flip the buffers: everything posted in the
+  // closed window becomes readable, the drained buffer becomes writable.
+  report_drains();
+  write_buf_ ^= 1;
+  SimTime m = SimTime::max();
+  for (int s = 0; s < n; ++s) {
+    eit_[static_cast<std::size_t>(s)] = shard_eit(s);
+    m = std::min(m, eit_[static_cast<std::size_t>(s)]);
+  }
+  if (m == SimTime::max() || m > until) {
+    done_ = true;
+    return;
+  }
+  // W[dst] = min over src of EIT[src] + L_closed[src][dst]: any future
+  // cross-shard arrival at dst descends from a pending input at some
+  // shard src through a path of at least L_closed[src][dst] delay, so
+  // nothing can land inside (now, W[dst]]. The closed diagonal bounds
+  // echoes dst -> ... -> dst through currently-idle relays the same way.
+  SimTime fleet_end = SimTime::zero();
+  for (int dst = 0; dst < n; ++dst) {
+    SimTime w = until;
+    for (int src = 0; src < n; ++src) {
+      const SimTime bound =
+          sat_add(eit_[static_cast<std::size_t>(src)],
+                  closed_lookahead_[mailbox_index(src, dst)]);
+      if (bound < w) w = bound;
+    }
+    window_end_[static_cast<std::size_t>(dst)] = w;
+    if (w > fleet_end) fleet_end = w;
+  }
+  ++windows_run_;
+  const SimTime advance = fleet_end - m;
+  if (advance > max_window_advance_) max_window_advance_ = advance;
+  last_window_end_ = fleet_end;
+  if (window_observer_) window_observer_(fleet_end, advance);
 }
 
 std::uint64_t ShardedEngine::run() { return run_until(SimTime::max()); }
@@ -92,27 +352,18 @@ std::uint64_t ShardedEngine::run_until(SimTime until) {
 
 std::uint64_t ShardedEngine::run_windows(SimTime until) {
   const int n = shard_count();
-  const SimTime lookahead = lookahead_;
   const std::uint64_t dispatched_before = events_dispatched();
+  const bool matrix = sync_mode_ == SyncMode::kMatrix;
+  if (matrix) ensure_closure();
 
   // Window plan, recomputed at each barrier by exactly one thread. The
   // first plan runs before any worker starts.
-  auto plan = [this, until, lookahead] {
-    flush_mailboxes();
-    const SimTime m = earliest_event();
-    if (m == SimTime::max() || m > until) {
-      done_ = true;
-      return;
+  auto plan = [this, until, matrix]() noexcept {
+    if (matrix) {
+      plan_matrix(until);
+    } else {
+      plan_global(until);
     }
-    // end <= m + lookahead: every cross-shard arrival produced inside the
-    // window is due at >= m + lookahead >= end, i.e. never behind any
-    // shard's clock. Progress: the shard owning m always dispatches.
-    window_end_ = until - m <= lookahead ? until : m + lookahead;
-    ++windows_run_;
-    const SimTime advance = window_end_ - m;
-    if (advance > max_window_advance_) max_window_advance_ = advance;
-    last_window_end_ = window_end_;
-    if (window_observer_) window_observer_(window_end_, advance);
   };
 
   done_ = false;
@@ -120,23 +371,38 @@ std::uint64_t ShardedEngine::run_windows(SimTime until) {
   plan();
 
   if (!done_) {
-    std::barrier sync{n, [&plan, this]() noexcept {
-                        if (failed_shard_.load(std::memory_order_relaxed) >= 0) {
-                          done_ = true;
-                          return;
-                        }
-                        plan();
-                      }};
+    const unsigned hw = std::thread::hardware_concurrency();
+    AdaptiveBarrier sync{n,
+                         [&plan, this]() noexcept {
+                           if (failed_shard_.load(std::memory_order_relaxed) >=
+                               0) {
+                             done_ = true;
+                             return;
+                           }
+                           plan();
+                         },
+                         hw != 0 && hw < static_cast<unsigned>(n)};
 
-    auto worker = [this, &sync](int shard_index) {
+    auto worker = [this, &sync, matrix](int shard_index) {
       Simulator& sim = *shards_[static_cast<std::size_t>(shard_index)];
       ShardStats& stats = shard_stats_[static_cast<std::size_t>(shard_index)];
+      bool first_arrival = true;
       while (true) {
         if (failed_shard_.load(std::memory_order_relaxed) < 0) {
           try {
-            const std::uint64_t before = sim.events_dispatched();
-            sim.run_until(window_end_);
-            stats.window_events += sim.events_dispatched() - before;
+            if (matrix) drain_inbox(shard_index);
+            const SimTime end =
+                window_end_[static_cast<std::size_t>(shard_index)];
+            if (sim.next_event_time() <= end) {
+              const std::uint64_t before = sim.events_dispatched();
+              sim.run_until(end);
+              stats.window_events += sim.events_dispatched() - before;
+            } else {
+              // Idle-shard fast path: nothing due inside the window and
+              // the inbox is already drained — skip the run_until call
+              // (the final clock clamp below catches now() up).
+              ++stats.windows_skipped;
+            }
           } catch (...) {
             // Record the fault but keep arriving at the barrier: the other
             // workers must not be left waiting on a phase that never
@@ -149,12 +415,20 @@ std::uint64_t ShardedEngine::run_windows(SimTime until) {
             }
           }
         }
-        const auto stall_start = std::chrono::steady_clock::now();
-        sync.arrive_and_wait();
-        stats.stall_wall_ns += static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - stall_start)
-                .count());
+        if (first_arrival) {
+          // The first wait absorbs thread-spawn skew and engine setup;
+          // stall accounting starts at the next window so the stall
+          // column measures synchronization only.
+          first_arrival = false;
+          sync.arrive_and_wait();
+        } else {
+          const auto stall_start = std::chrono::steady_clock::now();
+          sync.arrive_and_wait();
+          stats.stall_wall_ns += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - stall_start)
+                  .count());
+        }
         if (done_) break;
       }
     };
@@ -188,7 +462,13 @@ std::uint64_t ShardedEngine::events_dispatched() const {
 std::size_t ShardedEngine::pending_events() const {
   std::size_t n = 0;
   for (const auto& s : shards_) n += s->pending_events();
-  for (const auto& box : mail_) n += box.posts.size();
+  for (const auto& box : mail_) n += box.buf[0].size() + box.buf[1].size();
+  return n;
+}
+
+std::uint64_t ShardedEngine::windows_skipped() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shard_stats_) n += s.windows_skipped;
   return n;
 }
 

@@ -7,32 +7,66 @@
 // themselves as *cut links*; their delivery leg crosses shards through a
 // per-(source, destination) mailbox instead of the local event queue.
 //
-// Synchronization is conservative, in barrier windows:
+// Synchronization is conservative, in barrier windows, in one of two
+// protocols selected by TRIM_SHARD_SYNC (sim::SyncMode):
+//
+// kGlobal — the original fleet-wide window:
 //
 //   lookahead L = min prop_delay over all cut links (must be > 0)
 //   window k   = (end_{k-1}, end_k],  end_k = min(until, m + L)
 //                where m is the earliest pending event across all shards
 //
-// Every shard runs its own events through end_k in parallel, then all
-// shards meet at a barrier. A packet handed to a cut link at time t inside
-// the window arrives at t + prop_delay >= m + L >= end_k, so no shard can
-// ever need an event another shard has not yet produced: cross-shard
-// arrivals are flushed from the mailboxes at the barrier — in fixed
-// (destination, source, FIFO) order — and scheduled before the next
-// window begins. Windows therefore never violate causality, and the whole
-// run is deterministic for a given shard count: mailbox flush order is a
-// pure function of simulation state, never of thread timing.
+//   Every shard runs its own events through end_k in parallel, then all
+//   shards meet at a barrier. A packet handed to a cut link at time t
+//   inside the window arrives at t + prop_delay >= m + L >= end_k, so no
+//   shard can ever need an event another shard has not yet produced:
+//   cross-shard arrivals are flushed from the mailboxes at the barrier —
+//   in fixed (destination, source, FIFO) order — and scheduled before the
+//   next window begins.
+//
+// kMatrix (the default) — distance-aware per-shard windows:
+//
+//   L[src][dst] = min total prop_delay over cut-link paths src -> dst
+//                 (seeded per cut link, closed over multi-hop shard paths
+//                 with a min-plus Floyd–Warshall; the diagonal holds the
+//                 shortest *cycle* through other shards, not zero)
+//   EIT[s]      = min(earliest pending event on s, earliest undrained
+//                 mailbox entry addressed to s)
+//   W[dst]      = min(until, min over src of EIT[src] + L[src][dst])
+//
+//   Each shard runs through its own W[dst]: far-apart shards take long
+//   windows while close neighbors stay tight, instead of the whole fleet
+//   throttling on the single shortest cut. Safety: any future cross-shard
+//   arrival at dst originates from some pending event at shard s (at time
+//   >= EIT[s], including relayed mail) and crosses a path of total delay
+//   >= L[s][dst], so it is due at or after W[dst] — closure over
+//   multi-hop paths is what covers relays through currently-idle shards.
+//   Progress: the shard owning the global minimum m gets W >= m + min
+//   positive L > m, so it always dispatches. Cross-shard posts are
+//   delivered *eagerly*: the source publishes into a double-buffered
+//   inbox during its window, the barrier completion step flips the
+//   buffers (single-threaded), and the destination worker drains the
+//   previous window's buffer at the start of its next window in the same
+//   (destination, source, FIFO) order — no locks, no atomics on the hot
+//   path, all ordering through the barrier phase transition. Shards whose
+//   next event lies beyond their window skip run_until entirely (the
+//   idle-shard fast path), and the barrier itself spins adaptively before
+//   blocking.
+//
+// Windows in both modes never violate causality, and each mode's run is
+// deterministic for a given shard count: window plans, drains, and flush
+// order are pure functions of simulation state, never of thread timing.
 //
 // Determinism contract (see docs/ENGINE.md "Sharded engine"):
 //   - TRIM_SHARDS=1 (the default) is the serial engine, byte-identical to
 //     a plain Simulator run.
-//   - TRIM_SHARDS=n is deterministic: same build + config + n => same
-//     results, at any hardware parallelism.
-//   - Across different n, events with *distinct* timestamps dispatch in
-//     identical order; simultaneous events on different shards may
-//     interleave differently (same-timestamp tie order is an engine
-//     artifact, exactly like heap-vs-wheel insertion order was before
-//     both backends pinned it).
+//   - TRIM_SHARDS=n is deterministic: same build + config + n + sync mode
+//     => same results, at any hardware parallelism.
+//   - Across different n (and between sync modes), events with *distinct*
+//     timestamps dispatch in identical order; simultaneous events on
+//     different shards may interleave differently (same-timestamp tie
+//     order is an engine artifact, exactly like heap-vs-wheel insertion
+//     order was before both backends pinned it).
 #pragma once
 
 #include <atomic>
@@ -48,10 +82,11 @@ namespace trim::sim {
 
 class ShardedEngine {
  public:
-  // `shards` >= 1. Every shard simulator uses `kind`; the default keeps
-  // the TRIM_SCHEDULER runtime switch working per shard.
+  // `shards` >= 1. Every shard simulator uses `kind`; the defaults keep
+  // the TRIM_SCHEDULER / TRIM_SHARD_SYNC runtime switches working.
   explicit ShardedEngine(int shards);
   ShardedEngine(int shards, SchedulerKind kind);
+  ShardedEngine(int shards, SchedulerKind kind, SyncMode sync);
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
@@ -62,10 +97,18 @@ class ShardedEngine {
   // TRIM_SHARDS=1).
   Simulator& control() { return shard(0); }
 
+  SyncMode sync_mode() const { return sync_mode_; }
+
   // Called by Network::apply_partition for every link whose endpoints land
-  // on different shards. Shrinks the lookahead to min(prop_delay); throws
+  // on different shards: seeds the (src, dst) cell of the lookahead
+  // matrix and shrinks the global lookahead to min(prop_delay). Throws
   // ConfigError on a zero-delay cut (the partition must not split such
-  // links — conservative sync would make no progress).
+  // links — conservative sync would make no progress) or out-of-range
+  // shard ids.
+  void note_cut_link(int src, int dst, SimTime prop_delay);
+  // Pairless variant: seeds *every* (src, dst) pair with `prop_delay`,
+  // collapsing the matrix protocol to the global one. For callers (and
+  // tests) that do not know the cut's endpoints.
   void note_cut_link(SimTime prop_delay);
 
   // True once at least one cut link is registered; until then run() and
@@ -75,11 +118,25 @@ class ShardedEngine {
   SimTime lookahead() const { return lookahead_; }
   int cut_links() const { return cut_links_; }
 
+  // The path-closed lookahead from shard `src` to shard `dst`:
+  // SimTime::max() when no cut-link path connects them (dst then never
+  // waits on src). The diagonal is the shortest cycle back through other
+  // shards. Computes the closure on first use after new cut links.
+  SimTime lookahead_between(int src, int dst);
+
+  // Min-plus Floyd–Warshall closure of an n x n delay matrix (row-major,
+  // SimTime::max() = no edge, saturating adds). Shared with
+  // topo::partition_network so the partition report and the live engine
+  // agree on every L[src][dst].
+  static void close_over_paths(std::vector<SimTime>& matrix, int n);
+
   // Cross-shard hand-off: run `cb` on shard `dst` at time `due`. Called
   // only from shard `src`'s thread during a window (the cut-link delivery
-  // path); due must be at or beyond the current window end, which the
-  // lookahead rule guarantees. Entries are buffered in the (src, dst)
-  // mailbox and flushed at the next barrier.
+  // path); due must be at or beyond shard dst's current window end, which
+  // the lookahead rule guarantees in both sync modes. Entries buffer in
+  // the (src, dst) mailbox; the global protocol flushes them at the
+  // barrier, the matrix protocol lets the destination worker drain them
+  // at the start of its next window.
   void post(int src, int dst, SimTime due, InlineCallback cb);
 
   // Run until every shard (and every mailbox) drains, or until `until`
@@ -114,20 +171,26 @@ class ShardedEngine {
 
   // Per-shard execution accounting for windowed (parallel) runs; all
   // zeros on the serial path. One cache line per shard: the owning worker
-  // thread is the only writer during a run.
+  // thread is the only writer during a run. stall_wall_ns starts at the
+  // first plan — each worker's first barrier arrival (which absorbs
+  // thread-spawn skew and engine setup) is excluded, so the stall column
+  // measures synchronization only.
   struct alignas(64) ShardStats {
-    std::uint64_t window_events = 0;   // events dispatched inside windows
-    std::uint64_t stall_wall_ns = 0;   // wall time blocked at the barrier
+    std::uint64_t window_events = 0;    // events dispatched inside windows
+    std::uint64_t stall_wall_ns = 0;    // wall time blocked at the barrier
+    std::uint64_t windows_skipped = 0;  // idle-shard fast-path windows
   };
   const ShardStats& shard_stats(int i) const {
     return shard_stats_[static_cast<std::size_t>(i)];
   }
+  // Fleet total of idle-shard fast-path windows (deterministic).
+  std::uint64_t windows_skipped() const;
 
   // Cross-shard traffic totals (deterministic).
   std::uint64_t posts_flushed() const { return posts_flushed_; }
   std::uint64_t flush_batches() const { return flush_batches_; }
   // Widest window planned so far, measured beyond the earliest pending
-  // event (<= lookahead by construction; deterministic).
+  // event (<= lookahead by construction in global mode; deterministic).
   SimTime max_window_advance() const { return max_window_advance_; }
 
   // Ratio of the busiest shard's windowed event count to the mean
@@ -136,9 +199,11 @@ class ShardedEngine {
 
   // Observers, called only between windows (single-threaded, inside the
   // barrier completion step): the window observer after each plan with
-  // (window end, advance beyond the earliest event); the flush observer
-  // once per nonempty (src, dst) mailbox with the post count and the time
-  // of the window boundary being flushed. Must not throw.
+  // (fleet window end, advance beyond the earliest event); the flush
+  // observer once per nonempty (src, dst) mailbox batch with the post
+  // count and the window boundary it was reported at (in matrix mode,
+  // eager drains are accounted at the completion step *after* the window
+  // that drained them). Must not throw.
   void set_window_observer(InlineFunction<void(SimTime, SimTime)> cb) {
     window_observer_ = std::move(cb);
   }
@@ -157,12 +222,19 @@ class ShardedEngine {
     InlineCallback cb;
   };
   // Cache-line aligned so two shards posting into adjacent (src, dst)
-  // boxes during a window never write the same line — a bare
-  // vector<vector> packs four 24-byte headers per line, and the header
-  // (size pointer) is exactly what push_back mutates.
+  // boxes during a window never write the same line. Double-buffered for
+  // the matrix protocol's eager delivery: the source pushes into
+  // buf[write_buf_] during window k, the (single-threaded) completion
+  // step flips write_buf_, and the destination worker drains the other
+  // buffer during window k+1 — writer and reader never touch the same
+  // buffer inside one window, so the barrier is the only synchronization.
+  // min_due[b] tracks the earliest undrained entry in buf[b]; both feed
+  // the destination's EIT so undelivered mail still bounds every window.
   struct alignas(64) Mailbox {
-    std::vector<Posted> posts;
-    std::uint64_t flushed = 0;  // cumulative posts drained at barriers
+    std::vector<Posted> buf[2];
+    SimTime min_due[2] = {SimTime::max(), SimTime::max()};
+    std::uint64_t flushed = 0;     // cumulative posts drained
+    std::uint64_t unreported = 0;  // drained but not yet observer-reported
   };
   static_assert(alignof(Mailbox) == 64, "mailbox false-sharing pad");
 
@@ -172,17 +244,36 @@ class ShardedEngine {
   }
   // Earliest pending event across all shards (SimTime::max() when idle).
   SimTime earliest_event() const;
-  // Schedule every buffered mailbox entry on its destination shard, in
-  // (destination, source, FIFO) order. Single-threaded: runs between
-  // windows only.
+  // Earliest input shard `s` can still produce or consume: its own queue
+  // plus every undrained mailbox entry addressed to it.
+  SimTime shard_eit(int s) const;
+  // Recompute the closed lookahead matrix from the seeds if stale.
+  void ensure_closure();
+  // Global protocol: schedule every buffered mailbox entry on its
+  // destination shard, in (destination, source, FIFO) order.
+  // Single-threaded: runs between windows only.
   void flush_mailboxes();
+  // Matrix protocol: destination worker schedules its own inbound mail
+  // from the previous window's buffers, in (source, FIFO) order.
+  void drain_inbox(int dst);
+  // Matrix protocol: account + report drains performed during the window
+  // that just ended (single-threaded, (destination, source) order).
+  void report_drains();
+  void plan_global(SimTime until);
+  void plan_matrix(SimTime until);
   std::uint64_t run_windows(SimTime until);
 
   std::vector<std::unique_ptr<Simulator>> shards_;
   std::vector<Mailbox> mail_;  // [src * n + dst]
   std::vector<ShardStats> shard_stats_;
+  SyncMode sync_mode_;
   SimTime lookahead_ = SimTime::max();
   int cut_links_ = 0;
+  // Per-pair cut delays as registered (row-major, max() = no direct cut)
+  // and their min-plus path closure, rebuilt lazily after new cuts.
+  std::vector<SimTime> pair_lookahead_;
+  std::vector<SimTime> closed_lookahead_;
+  bool closure_valid_ = false;
   std::uint64_t windows_run_ = 0;
   std::uint64_t elapsed_wall_ns_ = 0;
   std::uint64_t posts_flushed_ = 0;
@@ -194,7 +285,9 @@ class ShardedEngine {
 
   // Window-loop shared state; written by the barrier completion step only,
   // read by workers after the barrier (the phase transition orders both).
-  SimTime window_end_;
+  std::vector<SimTime> window_end_;  // [dst]; uniform in global mode
+  std::vector<SimTime> eit_;         // plan scratch, avoids reallocation
+  int write_buf_ = 0;                // mailbox buffer the sources fill
   bool done_ = false;
   std::atomic<int> failed_shard_{-1};
   std::exception_ptr failure_;  // written only by the CAS-winning worker

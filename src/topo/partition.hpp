@@ -33,10 +33,21 @@ struct Partition {
   // min prop_delay over cut links — the engine's conservative lookahead.
   // SimTime::max() when nothing is cut (single shard / tiny topology).
   sim::SimTime min_cut_delay = sim::SimTime::max();
-  std::vector<double> shard_weight;  // estimated load per shard
+  // Path-closed per-pair lookahead, row-major [src * shards + dst]: the
+  // minimum total prop_delay over cut-link paths from shard src to shard
+  // dst (sim::SimTime::max() = unreachable), closed over multi-hop shard
+  // paths with the same min-plus closure the matrix sync protocol uses
+  // (sim::ShardedEngine::close_over_paths). The diagonal holds the
+  // shortest cycle back through other shards, not zero.
+  std::vector<sim::SimTime> lookahead;
 
   // Largest shard weight over the ideal (total / shards); 1.0 is perfect.
   double imbalance() const;
+
+  // lookahead[src][dst] with bounds checking; max() when nothing is cut.
+  sim::SimTime lookahead_between(int src, int dst) const;
+
+  std::vector<double> shard_weight;  // estimated load per shard
 };
 
 // Partition `network` into at most `shards` pieces (>= 1). Fewer groups

@@ -188,5 +188,181 @@ TEST(ShardedEngine, ShardsFromEnvIsClamped) {
   EXPECT_LE(n, 256);
 }
 
+// ---- matrix sync protocol ----
+
+TEST(ShardedEngine, SyncModeKnobParsesAndDefaults) {
+  EXPECT_STREQ(to_string(SyncMode::kGlobal), "global");
+  EXPECT_STREQ(to_string(SyncMode::kMatrix), "matrix");
+  ShardedEngine dflt{2};
+  EXPECT_EQ(dflt.sync_mode(), sync_mode_from_env());
+  ShardedEngine pinned{2, scheduler_kind_from_env(), SyncMode::kGlobal};
+  EXPECT_EQ(pinned.sync_mode(), SyncMode::kGlobal);
+}
+
+TEST(ShardedEngine, BadCutLinkPairsRejected) {
+  ShardedEngine engine{2};
+  EXPECT_THROW(engine.note_cut_link(0, 1, SimTime::zero()), ConfigError);
+  EXPECT_THROW(engine.note_cut_link(0, 0, SimTime::micros(10)), ConfigError);
+  EXPECT_THROW(engine.note_cut_link(0, 2, SimTime::micros(10)), ConfigError);
+  EXPECT_THROW(engine.note_cut_link(-1, 1, SimTime::micros(10)), ConfigError);
+}
+
+TEST(ShardedEngine, LookaheadMatrixClosesOverRelays) {
+  ShardedEngine engine{3};
+  engine.note_cut_link(0, 1, SimTime::micros(10));
+  engine.note_cut_link(1, 0, SimTime::micros(10));
+  engine.note_cut_link(1, 2, SimTime::micros(15));
+
+  // Direct cuts.
+  EXPECT_EQ(engine.lookahead_between(0, 1), SimTime::micros(10));
+  EXPECT_EQ(engine.lookahead_between(1, 0), SimTime::micros(10));
+  EXPECT_EQ(engine.lookahead_between(1, 2), SimTime::micros(15));
+  // Multi-hop closure: 0 reaches 2 only through 1.
+  EXPECT_EQ(engine.lookahead_between(0, 2), SimTime::micros(25));
+  // Nothing flows out of shard 2, so no shard ever waits on it.
+  EXPECT_EQ(engine.lookahead_between(2, 0), SimTime::max());
+  EXPECT_EQ(engine.lookahead_between(2, 1), SimTime::max());
+  // The diagonal is the min *cycle* through other shards (not zero): it
+  // bounds a shard's own echoes relayed while the neighbors sit idle.
+  EXPECT_EQ(engine.lookahead_between(0, 0), SimTime::micros(20));
+  EXPECT_EQ(engine.lookahead_between(1, 1), SimTime::micros(20));
+  EXPECT_EQ(engine.lookahead_between(2, 2), SimTime::max());
+  // The global lookahead keeps its min-over-all-cuts meaning.
+  EXPECT_EQ(engine.lookahead(), SimTime::micros(10));
+}
+
+TEST(ShardedEngine, MatrixRelayThroughIdleShardPreservesCausality) {
+  // The case that makes the closure load-bearing: shard 0's pending event
+  // will reach shard 2 only via shard 1, which is idle at planning time.
+  // Without the closed L[0][2] bound shard 2 would run past the relayed
+  // arrival and dispatch it behind its own clock.
+  ShardedEngine engine{3, scheduler_kind_from_env(), SyncMode::kMatrix};
+  engine.note_cut_link(0, 1, SimTime::micros(10));
+  engine.note_cut_link(1, 0, SimTime::micros(10));
+  engine.note_cut_link(1, 2, SimTime::micros(15));
+
+  std::vector<SimTime> shard2_log;  // written only by shard 2's worker
+  engine.shard(2).schedule_at(SimTime::micros(5),
+                              [&] { shard2_log.push_back(engine.shard(2).now()); });
+  engine.shard(2).schedule_at(SimTime::micros(30),
+                              [&] { shard2_log.push_back(engine.shard(2).now()); });
+  engine.shard(0).schedule_at(SimTime::micros(1), [&engine, &shard2_log] {
+    engine.post(0, 1, engine.shard(0).now() + SimTime::micros(10),
+                [&engine, &shard2_log] {
+                  engine.post(1, 2, engine.shard(1).now() + SimTime::micros(15),
+                              [&engine, &shard2_log] {
+                                shard2_log.push_back(engine.shard(2).now());
+                              });
+                });
+  });
+
+  engine.run();
+
+  // 5 us local, 26 us relayed arrival (1 + 10 + 15), 30 us local — in
+  // that order, each dispatched exactly at its due time.
+  ASSERT_EQ(shard2_log.size(), 3u);
+  EXPECT_EQ(shard2_log[0], SimTime::micros(5));
+  EXPECT_EQ(shard2_log[1], SimTime::micros(26));
+  EXPECT_EQ(shard2_log[2], SimTime::micros(30));
+}
+
+TEST(ShardedEngine, MatrixMatchesGlobalOnDistinctTimestamps) {
+  // The WindowedRunIsDeterministic mesh has no same-timestamp collisions
+  // on any one shard, so both sync protocols must produce *identical*
+  // arrival logs — the unit-level version of the shard_equivalence
+  // FlowSig oracle.
+  auto run_once = [](SyncMode mode) {
+    ShardedEngine engine{4, scheduler_kind_from_env(), mode};
+    for (int s = 0; s < 4; ++s) {
+      engine.note_cut_link(s, (s + 1) % 4, SimTime::micros(20));
+    }
+    std::vector<std::vector<int>> arrived(4);
+    for (int s = 0; s < 4; ++s) {
+      for (int k = 1; k <= 8; ++k) {
+        engine.shard(s).schedule_at(SimTime::micros(3 * k), [&engine, &arrived, s, k] {
+          const int to = (s + 1) % 4;
+          engine.post(s, to,
+                      engine.shard(s).now() + SimTime::micros(20),
+                      [&arrived, to, s, k] { arrived[to].push_back(s * 100 + k); });
+        });
+      }
+    }
+    engine.run();
+    std::vector<int> order;
+    for (const auto& log : arrived) order.insert(order.end(), log.begin(), log.end());
+    return order;
+  };
+  const auto matrix_a = run_once(SyncMode::kMatrix);
+  const auto matrix_b = run_once(SyncMode::kMatrix);
+  const auto global = run_once(SyncMode::kGlobal);
+  ASSERT_EQ(matrix_a.size(), 32u);
+  EXPECT_EQ(matrix_a, matrix_b);
+  EXPECT_EQ(matrix_a, global);
+}
+
+TEST(ShardedEngine, IdleShardSkipsWindowsAndNeedsFewerOfThem) {
+  // Shard 0 streams local events while shard 1 never has work. The matrix
+  // protocol sees no path back into shard 0 (one-directional cut), lets
+  // it run to the horizon in a single window, and fast-paths shard 1
+  // through it; the global protocol paces the whole fleet at the 10 us
+  // cut lookahead.
+  ShardedEngine matrix{2, scheduler_kind_from_env(), SyncMode::kMatrix};
+  matrix.note_cut_link(0, 1, SimTime::micros(10));
+  int fired_m = 0;
+  for (int k = 1; k <= 10; ++k) {
+    matrix.shard(0).schedule_at(SimTime::micros(10 * k), [&fired_m] { ++fired_m; });
+  }
+  matrix.run_until(SimTime::micros(200));
+
+  ShardedEngine global{2, scheduler_kind_from_env(), SyncMode::kGlobal};
+  global.note_cut_link(0, 1, SimTime::micros(10));
+  int fired_g = 0;
+  for (int k = 1; k <= 10; ++k) {
+    global.shard(0).schedule_at(SimTime::micros(10 * k), [&fired_g] { ++fired_g; });
+  }
+  global.run_until(SimTime::micros(200));
+
+  EXPECT_EQ(fired_m, 10);
+  EXPECT_EQ(fired_g, 10);
+  EXPECT_EQ(matrix.windows_run(), 1u);
+  EXPECT_EQ(matrix.shard_stats(1).windows_skipped, 1u);
+  EXPECT_EQ(matrix.shard_stats(1).window_events, 0u);
+  EXPECT_GT(global.windows_run(), matrix.windows_run());
+  // Clock clamp semantics hold for the skipped shard too.
+  EXPECT_EQ(matrix.shard(1).now(), SimTime::micros(200));
+}
+
+TEST(ShardedEngine, EagerInboxStressAllPairs) {
+  // TSan smoke for the eager-delivery inbox: every shard posts to every
+  // other shard from inside its window, across many windows, so source
+  // pushes and destination drains continuously hit the double-buffered
+  // mailboxes from different threads.
+  ShardedEngine engine{4, scheduler_kind_from_env(), SyncMode::kMatrix};
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 4; ++d) {
+      if (s != d) engine.note_cut_link(s, d, SimTime::micros(10));
+    }
+  }
+  std::vector<std::uint64_t> arrivals(4, 0);  // written by the owner worker
+  for (int s = 0; s < 4; ++s) {
+    for (int k = 1; k <= 50; ++k) {
+      engine.shard(s).schedule_at(SimTime::micros(5 * k), [&engine, &arrivals, s] {
+        for (int d = 0; d < 4; ++d) {
+          if (d == s) continue;
+          engine.post(s, d, engine.shard(s).now() + SimTime::micros(10),
+                      [&arrivals, d] { ++arrivals[d]; });
+        }
+      });
+    }
+  }
+  engine.run();
+  std::uint64_t total = 0;
+  for (const auto a : arrivals) total += a;
+  EXPECT_EQ(total, 4u * 50u * 3u);
+  EXPECT_EQ(engine.posts_flushed(), 4u * 50u * 3u);
+  EXPECT_GT(engine.windows_run(), 0u);
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
 }  // namespace
 }  // namespace trim::sim
